@@ -1,0 +1,22 @@
+//! One bench per reproduced table/figure: times the full regeneration of
+//! each experiment in DESIGN.md's per-experiment index (Fig 3–8, the
+//! Theorem 1 grid, X-mux, X-mod, X-quant).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smooth_bench::experiments;
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    // Whole-evaluation regenerations are heavyweight; fewer samples.
+    group.sample_size(10);
+    for (name, gen) in experiments::all() {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(gen()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Core algorithm benchmarks: the smoother itself, the streaming
+//! interface, and the reference schedulers, on the paper's main sequence.
+//!
+//! The algorithm runs per picture with an O(H) inner loop, so a 300-
+//! picture trace at H = 9 is ~2,700 bound evaluations — these benches
+//! keep that honest (a transport protocol runs this 30 times per second
+//! per stream).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smooth_core::{
+    ideal_smooth, ott_smooth, smooth, smooth_with, OnlineSmoother, PatternEstimator, RateSelection,
+    SmootherParams,
+};
+use smooth_trace::driving1;
+use std::hint::black_box;
+
+fn bench_basic_algorithm(c: &mut Criterion) {
+    let trace = driving1();
+    let mut group = c.benchmark_group("smooth_basic");
+    for d in [0.1, 0.2, 0.3] {
+        let params = SmootherParams::at_30fps(d, 1, 9).expect("feasible");
+        group.bench_with_input(
+            BenchmarkId::new("driving1_300", format!("D={d}")),
+            &params,
+            |b, &p| {
+                b.iter(|| smooth(black_box(&trace), p));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_lookahead_cost(c: &mut Criterion) {
+    let trace = driving1();
+    let mut group = c.benchmark_group("smooth_lookahead");
+    for h in [1usize, 9, 27] {
+        let params = SmootherParams::at_30fps(0.2, 1, h).expect("feasible");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("H={h}")),
+            &params,
+            |b, &p| {
+                b.iter(|| smooth(black_box(&trace), p));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_moving_average(c: &mut Criterion) {
+    let trace = driving1();
+    let params = SmootherParams::at_30fps(0.2, 1, 9).expect("feasible");
+    let est = PatternEstimator::default();
+    c.bench_function("smooth_moving_average_driving1_300", |b| {
+        b.iter(|| {
+            smooth_with(
+                black_box(&trace),
+                params,
+                &est,
+                RateSelection::MovingAverage,
+            )
+        });
+    });
+}
+
+fn bench_online_push(c: &mut Criterion) {
+    let trace = driving1();
+    let params = SmootherParams::at_30fps(0.2, 1, 9).expect("feasible");
+    c.bench_function("online_push_300_pictures", |b| {
+        b.iter(|| {
+            let mut s = OnlineSmoother::for_stored(params, trace.pattern, trace.len());
+            let mut n = 0;
+            for &bits in &trace.sizes {
+                n += s.push(black_box(bits)).len();
+            }
+            n += s.finish().len();
+            n
+        });
+    });
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let trace = driving1();
+    c.bench_function("ideal_smooth_driving1_300", |b| {
+        b.iter(|| ideal_smooth(black_box(&trace)));
+    });
+    c.bench_function("ott_taut_string_driving1_300", |b| {
+        b.iter(|| ott_smooth(black_box(&trace), 0.2).expect("feasible"));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_basic_algorithm,
+    bench_lookahead_cost,
+    bench_moving_average,
+    bench_online_push,
+    bench_baselines
+);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Substrate benchmarks: the synthetic encoder, the MPEG-1 bitstream
+//! writer/parser, step-function analytics, the ATM packetizer, and the
+//! multiplexer models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smooth_core::{smooth, unsmoothed, SmootherParams};
+use smooth_metrics::{measure, StepFunction};
+use smooth_mpeg::bitstream::{parse_stream, write_stream, SequenceHeader, StreamSpec};
+use smooth_mpeg::synth::{EncoderModel, SceneScript};
+use smooth_mpeg::{GopPattern, Resolution};
+use smooth_netsim::{cell_times, CellMux, FluidMux};
+use smooth_rng::Rng;
+use smooth_trace::{driving1, generate, SequenceId};
+use std::hint::black_box;
+
+fn bench_synth_encoder(c: &mut Criterion) {
+    let model = EncoderModel::new(Resolution::VGA, GopPattern::new(3, 9).expect("static"));
+    let script = SceneScript::steady(300, 1.0, 0.8);
+    c.bench_function("synth_encode_300_pictures", |b| {
+        b.iter(|| model.encode_sizes(black_box(&script), &mut Rng::seed_from_u64(1)));
+    });
+    c.bench_function("trace_generate_driving1_300", |b| {
+        b.iter(|| generate(SequenceId::Driving1, 300, black_box(7)));
+    });
+}
+
+fn bench_bitstream(c: &mut Criterion) {
+    let trace = driving1().truncated(27);
+    let spec = StreamSpec::new(SequenceHeader::vbr(trace.resolution), trace.pattern);
+    c.bench_function("bitstream_write_27_pictures", |b| {
+        b.iter(|| write_stream(black_box(&spec), black_box(&trace.sizes), 1));
+    });
+    let written = write_stream(&spec, &trace.sizes, 1);
+    c.bench_function("bitstream_parse_27_pictures", |b| {
+        b.iter(|| parse_stream(black_box(&written.bytes)));
+    });
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let trace = driving1();
+    let result = smooth(
+        &trace,
+        SmootherParams::at_30fps(0.2, 1, 9).expect("feasible"),
+    );
+    c.bench_function("measures_driving1", |b| {
+        b.iter(|| measure(black_box(&trace), black_box(&result)));
+    });
+    let f = StepFunction::from_segments(&result.rate_segments());
+    c.bench_function("step_integral_driving1", |b| {
+        b.iter(|| f.integral(black_box(0.0), black_box(10.0)));
+    });
+}
+
+fn bench_netsim(c: &mut Criterion) {
+    let trace = driving1();
+    let raw = unsmoothed(&trace);
+    let inputs: Vec<StepFunction> = (0..8)
+        .map(|_| StepFunction::from_segments(&raw.segments))
+        .collect();
+    let mux = FluidMux {
+        capacity_bps: 20.0e6,
+        buffer_bits: 0.25e6,
+    };
+    c.bench_function("fluid_mux_8x300_pictures", |b| {
+        b.iter(|| mux.run(black_box(&inputs), 0.0, 10.0));
+    });
+
+    let cells = cell_times(&raw.segments);
+    let cmux = CellMux {
+        capacity_bps: 20.0e6,
+        buffer_cells: 128,
+    };
+    c.bench_function("packetize_driving1", |b| {
+        b.iter(|| cell_times(black_box(&raw.segments)));
+    });
+    c.bench_function("cell_mux_driving1", |b| {
+        b.iter(|| cmux.run(black_box(&cells)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_synth_encoder,
+    bench_bitstream,
+    bench_metrics,
+    bench_netsim
+);
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Minimal table type shared by the experiment harness: pretty printing
+//! for the terminal and CSV output for plotting.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A titled table of stringly-typed cells.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Title printed above the table and used for the CSV file name.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows; each must have `columns.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the column count.
+    pub fn push(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width mismatch in {}",
+            self.title
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders aligned for the terminal.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        let _ = writeln!(out, "{}", "-".repeat(header.join("  ").len()));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.columns.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// File-system-safe slug of the title.
+    pub fn slug(&self) -> String {
+        self.title
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
+            .collect::<String>()
+            .split('_')
+            .filter(|s| !s.is_empty())
+            .collect::<Vec<_>>()
+            .join("_")
+    }
+
+    /// Writes `<dir>/<slug>.csv`.
+    pub fn save_csv(&self, dir: impl AsRef<Path>) -> std::io::Result<std::path::PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.slug()));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Formats a float with `digits` fractional digits.
+pub fn f(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Fig X: demo (units)", &["a", "bbbb", "c"]);
+        t.push(vec!["1".into(), "2".into(), "3.5".into()]);
+        t.push(vec!["10".into(), "20".into(), "30.25".into()]);
+        t
+    }
+
+    #[test]
+    fn render_is_aligned() {
+        let r = sample().render();
+        assert!(r.contains("## Fig X: demo (units)"));
+        let lines: Vec<&str> = r.lines().collect();
+        // Header and rows share the same width.
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+
+    #[test]
+    fn csv_roundtrip_structure() {
+        let csv = sample().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("a,bbbb,c"));
+        assert_eq!(lines.next(), Some("1,2,3.5"));
+    }
+
+    #[test]
+    fn slug_is_safe() {
+        assert_eq!(sample().slug(), "fig_x_demo_units");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn push_checks_width() {
+        sample().push(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn save_csv_writes_file() {
+        let dir = std::env::temp_dir().join("smooth_bench_table_test");
+        let path = sample().save_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.starts_with("a,bbbb,c"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(f(3.0, 0), "3");
+    }
+}

@@ -1,0 +1,276 @@
+//! Reference senders: ideal smoothing (paper §3.2) and the unsmoothed
+//! per-picture sender (the paper's §1 motivation).
+//!
+//! Ideal smoothing sends every picture of a pattern at the pattern's
+//! average rate `(S_i + … + S_{i+N−1}) / (N·τ)`. It is the gold standard
+//! for smoothness, but requires the whole pattern to be buffered before
+//! its first picture can go out, so per-picture delays are large — this
+//! trade-off is exactly what Figure 5 plots.
+
+use crate::smoother::{RateSegment, TIME_EPS};
+use serde::{Deserialize, Serialize};
+use smooth_trace::VideoTrace;
+
+/// Per-picture schedule entry for a baseline sender.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BaselineSchedule {
+    /// Display index.
+    pub index: usize,
+    /// When the sender began sending this picture (seconds).
+    pub start: f64,
+    /// Sending rate while this picture was being sent (bits/second).
+    pub rate: f64,
+    /// Departure time of the picture's last bit (seconds).
+    pub depart: f64,
+    /// `depart − index·τ`, comparable to the algorithm's delay.
+    pub delay: f64,
+}
+
+/// Output of a baseline sender.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineResult {
+    /// Per-picture schedule, display order.
+    pub schedule: Vec<BaselineSchedule>,
+    /// The rate function as maximal constant-rate segments.
+    pub segments: Vec<RateSegment>,
+}
+
+impl BaselineResult {
+    /// Per-picture delays.
+    pub fn delays(&self) -> Vec<f64> {
+        self.schedule.iter().map(|p| p.delay).collect()
+    }
+
+    /// Largest per-picture delay.
+    pub fn max_delay(&self) -> f64 {
+        self.delays().into_iter().fold(0.0, f64::max)
+    }
+
+    /// Largest rate in the rate function.
+    pub fn max_rate(&self) -> f64 {
+        self.segments.iter().map(|s| s.rate).fold(0.0, f64::max)
+    }
+}
+
+/// Merges adjacent equal-rate abutting segments.
+fn merge_segments(raw: Vec<RateSegment>) -> Vec<RateSegment> {
+    let mut merged: Vec<RateSegment> = Vec::with_capacity(raw.len());
+    for seg in raw {
+        if seg.end <= seg.start + f64::EPSILON {
+            continue;
+        }
+        match merged.last_mut() {
+            Some(last)
+                if (last.rate - seg.rate).abs() <= 1e-9 * last.rate.max(1.0)
+                    && (seg.start - last.end).abs() <= TIME_EPS =>
+            {
+                last.end = seg.end;
+            }
+            _ => merged.push(seg),
+        }
+    }
+    merged
+}
+
+/// Ideal smoothing (paper §3.2): each complete pattern is sent at its
+/// average rate, starting once the whole pattern has arrived (and the
+/// previous pattern has drained — with equal pattern durations these
+/// coincide, so the server never idles after start-up).
+///
+/// A trailing partial pattern of `L` pictures is sent at `sum / (L·τ)`.
+pub fn ideal_smooth(trace: &VideoTrace) -> BaselineResult {
+    let tau = trace.tau();
+    let n = trace.pattern.n();
+    let mut schedule = Vec::with_capacity(trace.len());
+    let mut segments = Vec::new();
+    let mut depart = 0.0f64;
+
+    let mut start_idx = 0;
+    while start_idx < trace.len() {
+        let len = n.min(trace.len() - start_idx);
+        let chunk = &trace.sizes[start_idx..start_idx + len];
+        let sum: u64 = chunk.iter().sum();
+        let duration = len as f64 * tau;
+        let rate = sum as f64 / duration;
+        // The whole chunk has arrived at (start_idx + len)·τ.
+        let available = (start_idx + len) as f64 * tau;
+        let start = depart.max(available);
+        segments.push(RateSegment {
+            start,
+            end: start + duration,
+            rate,
+        });
+        let mut t = start;
+        for (m, &bits) in chunk.iter().enumerate() {
+            let index = start_idx + m;
+            let dep = t + bits as f64 / rate;
+            schedule.push(BaselineSchedule {
+                index,
+                start: t,
+                rate,
+                depart: dep,
+                delay: dep - index as f64 * tau,
+            });
+            t = dep;
+        }
+        depart = start + duration;
+        start_idx += len;
+    }
+
+    BaselineResult {
+        schedule,
+        segments: merge_segments(segments),
+    }
+}
+
+/// The ideal-smoothing rate of each complete pattern, i.e. the paper's
+/// `R(t)` levels (§3.2). Convenience wrapper over
+/// [`VideoTrace::pattern_rates_bps`].
+pub fn ideal_rates(trace: &VideoTrace) -> Vec<f64> {
+    trace.pattern_rates_bps()
+}
+
+/// The unsmoothed sender of the paper's §1 example: each picture is
+/// transmitted within its own picture period at `S_i / τ`, i.e. the
+/// network sees the encoder's full burstiness (a 200-kbit I picture at
+/// 30 pictures/s demands 6 Mbps for one period).
+///
+/// Modeled as cut-through: picture `i` is sent during `[iτ, (i+1)τ)`
+/// while it arrives, giving a uniform delay of τ.
+pub fn unsmoothed(trace: &VideoTrace) -> BaselineResult {
+    let tau = trace.tau();
+    let mut schedule = Vec::with_capacity(trace.len());
+    let mut segments = Vec::with_capacity(trace.len());
+    for (i, &bits) in trace.sizes.iter().enumerate() {
+        let start = i as f64 * tau;
+        let rate = bits as f64 / tau;
+        let depart = start + tau;
+        schedule.push(BaselineSchedule {
+            index: i,
+            start,
+            rate,
+            depart,
+            delay: tau,
+        });
+        segments.push(RateSegment {
+            start,
+            end: depart,
+            rate,
+        });
+    }
+    BaselineResult {
+        schedule,
+        segments: merge_segments(segments),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smooth_mpeg::{GopPattern, PictureType, Resolution};
+
+    const TAU: f64 = 1.0 / 30.0;
+
+    fn toy_trace(n: usize) -> VideoTrace {
+        let pattern = GopPattern::new(3, 9).unwrap();
+        let sizes: Vec<u64> = (0..n)
+            .map(|i| match pattern.type_at(i) {
+                PictureType::I => 180_000,
+                PictureType::P => 90_000,
+                PictureType::B => 18_000,
+            })
+            .collect();
+        VideoTrace::new("toy", pattern, Resolution::VGA, 30.0, sizes).unwrap()
+    }
+
+    #[test]
+    fn ideal_rate_is_pattern_average() {
+        let t = toy_trace(27);
+        let r = ideal_smooth(&t);
+        let expected = (180_000.0 + 2.0 * 90_000.0 + 6.0 * 18_000.0) / (9.0 * TAU);
+        // Constant trace: one merged segment at the pattern rate.
+        assert_eq!(r.segments.len(), 1);
+        assert!((r.segments[0].rate - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ideal_first_pattern_starts_after_full_arrival() {
+        let t = toy_trace(27);
+        let r = ideal_smooth(&t);
+        // Pattern 0 (pictures 0..9) has fully arrived at 9·τ = 0.3 s.
+        assert!((r.schedule[0].start - 9.0 * TAU).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ideal_is_continuous_after_startup() {
+        let t = toy_trace(45);
+        let r = ideal_smooth(&t);
+        for w in r.schedule.windows(2) {
+            assert!((w[1].start - w[0].depart).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ideal_delays_are_large() {
+        // Paper Figure 5: ideal delays far exceed the algorithm's D = 0.1.
+        let t = toy_trace(90);
+        let r = ideal_smooth(&t);
+        assert!(r.max_delay() > 0.3, "max ideal delay {}", r.max_delay());
+        // And every delay is at least one pattern's buffering minus the
+        // picture's own offset; in particular positive.
+        assert!(r.delays().iter().all(|&d| d > 0.0));
+    }
+
+    #[test]
+    fn ideal_delay_structure_sawtooth() {
+        // Within a steady pattern the delays repeat pattern-periodically.
+        let t = toy_trace(90);
+        let r = ideal_smooth(&t);
+        let d = r.delays();
+        for i in 9..81 {
+            assert!((d[i] - d[i + 9]).abs() < 1e-9, "delay not periodic at {i}");
+        }
+    }
+
+    #[test]
+    fn ideal_partial_tail() {
+        let t = toy_trace(21); // 2 full patterns + 3 pictures
+        let r = ideal_smooth(&t);
+        assert_eq!(r.schedule.len(), 21);
+        let tail_rate = r.schedule[20].rate;
+        let tail_sum: u64 = t.sizes[18..].iter().sum();
+        assert!((tail_rate - tail_sum as f64 / (3.0 * TAU)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ideal_conserves_bits() {
+        let t = toy_trace(36);
+        let r = ideal_smooth(&t);
+        let sent: f64 = r.segments.iter().map(|s| (s.end - s.start) * s.rate).sum();
+        assert!((sent / t.total_bits() as f64 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsmoothed_peak_matches_biggest_picture() {
+        let t = toy_trace(27);
+        let r = unsmoothed(&t);
+        assert!((r.max_rate() - 180_000.0 * 30.0).abs() < 1e-6);
+        assert!(r.delays().iter().all(|&d| (d - TAU).abs() < 1e-12));
+    }
+
+    #[test]
+    fn unsmoothed_conserves_bits() {
+        let t = toy_trace(27);
+        let r = unsmoothed(&t);
+        let sent: f64 = r.segments.iter().map(|s| (s.end - s.start) * s.rate).sum();
+        assert!((sent / t.total_bits() as f64 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsmoothed_is_much_burstier_than_ideal() {
+        let t = toy_trace(90);
+        let burst = unsmoothed(&t).max_rate();
+        let smooth = ideal_smooth(&t).max_rate();
+        assert!(burst > 3.0 * smooth, "unsmoothed {burst} vs ideal {smooth}");
+    }
+}

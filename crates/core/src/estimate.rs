@@ -1,0 +1,229 @@
+//! Picture-size estimators.
+//!
+//! At time `t_i` the algorithm knows the exact sizes of pictures
+//! `i .. i+K−1` (that is what `K` means) but must *estimate* the sizes of
+//! later pictures for its lookahead bounds. Theorem 1 only requires `S_i`
+//! to be exact, so estimates may be arbitrarily wrong without endangering
+//! the delay bound (paper §4.3) — they only affect smoothness.
+//!
+//! The paper's estimator exploits the repeating pattern: pictures `j` and
+//! `j − N` have the same type, so `S_j ≈ S_{j−N}` unless a scene change
+//! intervenes; before `j − N` exists, fixed per-type defaults are used
+//! (§4.4: 200,000 / 100,000 / 20,000 bits for I / P / B — "far from being
+//! accurate for some video sequences. But by Theorem 1, they do not need
+//! to be accurate").
+
+use smooth_mpeg::{GopPattern, PictureType};
+
+/// Default cold-start estimates from the paper (§4.4), in bits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DefaultSizes {
+    /// Estimate for I pictures.
+    pub i_bits: f64,
+    /// Estimate for P pictures.
+    pub p_bits: f64,
+    /// Estimate for B pictures.
+    pub b_bits: f64,
+}
+
+impl DefaultSizes {
+    /// The paper's values: I = 200,000, P = 100,000, B = 20,000 bits.
+    pub const PAPER: DefaultSizes = DefaultSizes {
+        i_bits: 200_000.0,
+        p_bits: 100_000.0,
+        b_bits: 20_000.0,
+    };
+
+    /// Default for the given type.
+    pub fn for_type(&self, t: PictureType) -> f64 {
+        match t {
+            PictureType::I => self.i_bits,
+            PictureType::P => self.p_bits,
+            PictureType::B => self.b_bits,
+        }
+    }
+}
+
+/// A size estimator consulted for pictures that have not yet arrived.
+///
+/// `arrived` holds the exact sizes of every picture that has completely
+/// arrived at estimation time (`arrived[x]` = size of display picture `x`,
+/// for `x < arrived.len()`); `j ≥ arrived.len()` is the picture being
+/// estimated.
+pub trait SizeEstimator {
+    /// Estimated size of picture `j`, in bits.
+    fn estimate(&self, j: usize, arrived: &[u64], pattern: &GopPattern) -> f64;
+
+    /// Short name for reports and ablation tables.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's estimator: `S_j ≈ S_{j−N}` (same picture type one pattern
+/// back), walking back additional whole patterns if `j − N` has itself not
+/// arrived, with per-type defaults at the start of the sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatternEstimator {
+    /// Cold-start defaults.
+    pub defaults: DefaultSizes,
+}
+
+impl Default for PatternEstimator {
+    fn default() -> Self {
+        PatternEstimator {
+            defaults: DefaultSizes::PAPER,
+        }
+    }
+}
+
+impl SizeEstimator for PatternEstimator {
+    fn estimate(&self, j: usize, arrived: &[u64], pattern: &GopPattern) -> f64 {
+        let n = pattern.n();
+        // Walk back one pattern at a time to the most recent arrived
+        // picture of the same type.
+        let mut back = j;
+        while back >= n {
+            back -= n;
+            if back < arrived.len() {
+                return arrived[back] as f64;
+            }
+        }
+        self.defaults.for_type(pattern.type_at(j))
+    }
+
+    fn name(&self) -> &'static str {
+        "pattern"
+    }
+}
+
+/// Always returns the per-type default — an ablation showing how much the
+/// pattern memory buys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TypeDefaultEstimator {
+    /// The per-type constants returned.
+    pub defaults: DefaultSizes,
+}
+
+impl Default for TypeDefaultEstimator {
+    fn default() -> Self {
+        TypeDefaultEstimator {
+            defaults: DefaultSizes::PAPER,
+        }
+    }
+}
+
+impl SizeEstimator for TypeDefaultEstimator {
+    fn estimate(&self, j: usize, _arrived: &[u64], pattern: &GopPattern) -> f64 {
+        self.defaults.for_type(pattern.type_at(j))
+    }
+
+    fn name(&self) -> &'static str {
+        "type-default"
+    }
+}
+
+/// An oracle with the full trace: returns exact sizes for pictures that
+/// have not arrived. Models Ott et al.'s assumption that all sizes are
+/// known a priori (paper §6) within this algorithm's structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleEstimator {
+    /// The complete size sequence.
+    pub sizes: Vec<u64>,
+}
+
+impl SizeEstimator for OracleEstimator {
+    fn estimate(&self, j: usize, _arrived: &[u64], pattern: &GopPattern) -> f64 {
+        match self.sizes.get(j) {
+            Some(&s) => s as f64,
+            // Beyond the known trace, fall back to the pattern default.
+            None => DefaultSizes::PAPER.for_type(pattern.type_at(j)),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pat9() -> GopPattern {
+        GopPattern::new(3, 9).unwrap()
+    }
+
+    #[test]
+    fn pattern_estimator_uses_one_pattern_back() {
+        let est = PatternEstimator::default();
+        let arrived: Vec<u64> = (0..12).map(|i| 1000 * (i as u64 + 1)).collect();
+        // Picture 13 (a B at slot 4): one pattern back is picture 4,
+        // arrived with size 5000.
+        assert_eq!(est.estimate(13, &arrived, &pat9()), 5000.0);
+        // Picture 9 (an I): one back is picture 0, size 1000.
+        assert_eq!(est.estimate(9, &arrived, &pat9()), 1000.0);
+    }
+
+    #[test]
+    fn pattern_estimator_walks_back_multiple_patterns() {
+        let est = PatternEstimator::default();
+        let arrived: Vec<u64> = vec![7000; 5]; // only pictures 0..4 arrived
+                                               // Picture 22 (slot 4): 22-9=13 not arrived, 13-9=4 arrived.
+        assert_eq!(est.estimate(22, &arrived, &pat9()), 7000.0);
+    }
+
+    #[test]
+    fn pattern_estimator_cold_start_defaults() {
+        // Paper §4.4: I=200k, P=100k, B=20k before history exists.
+        let est = PatternEstimator::default();
+        let arrived: Vec<u64> = vec![];
+        assert_eq!(est.estimate(0, &arrived, &pat9()), 200_000.0); // I
+        assert_eq!(est.estimate(3, &arrived, &pat9()), 100_000.0); // P
+        assert_eq!(est.estimate(1, &arrived, &pat9()), 20_000.0); // B
+                                                                  // Second pattern, still nothing arrived: defaults again.
+        assert_eq!(est.estimate(9, &arrived, &pat9()), 200_000.0);
+        assert_eq!(est.estimate(12, &arrived, &pat9()), 100_000.0);
+    }
+
+    #[test]
+    fn pattern_estimator_same_type_invariant() {
+        // Whatever it returns is derived from a picture of the same type.
+        let est = PatternEstimator::default();
+        let pat = pat9();
+        let arrived: Vec<u64> = (0..20).map(|i| 100 + i as u64).collect();
+        for j in 20..60 {
+            let e = est.estimate(j, &arrived, &pat);
+            // Find which arrived picture it came from (if any).
+            let src = (0..arrived.len()).find(|&x| arrived[x] as f64 == e);
+            if let Some(x) = src {
+                assert_eq!(pat.type_at(x), pat.type_at(j), "j={j} sourced from {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn type_default_ignores_history() {
+        let est = TypeDefaultEstimator::default();
+        let arrived: Vec<u64> = vec![999_999; 30];
+        assert_eq!(est.estimate(36, &arrived, &pat9()), 200_000.0);
+        assert_eq!(est.estimate(39, &arrived, &pat9()), 100_000.0);
+        assert_eq!(est.estimate(37, &arrived, &pat9()), 20_000.0);
+    }
+
+    #[test]
+    fn oracle_returns_truth() {
+        let est = OracleEstimator {
+            sizes: vec![11, 22, 33],
+        };
+        assert_eq!(est.estimate(0, &[], &pat9()), 11.0);
+        assert_eq!(est.estimate(2, &[], &pat9()), 33.0);
+        // Past the end: type default.
+        assert_eq!(est.estimate(9, &[], &pat9()), 200_000.0);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(PatternEstimator::default().name(), "pattern");
+        assert_eq!(TypeDefaultEstimator::default().name(), "type-default");
+        assert_eq!(OracleEstimator { sizes: vec![] }.name(), "oracle");
+    }
+}

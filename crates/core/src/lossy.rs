@@ -1,0 +1,266 @@
+//! The lossy rate-control alternatives of paper §3.1, implemented — so
+//! the paper's argument ("lossy techniques … should be used only as a
+//! last resort") can be made quantitative instead of rhetorical.
+//!
+//! Two techniques from the paper:
+//!
+//! * **Quantizer coarsening** ([`cap_peak_with_quantizer`]): the encoder
+//!   raises the quantizer scale of any picture that would exceed a peak
+//!   bit budget. Rate is capped, but the quality cost lands exactly where
+//!   the paper says it must not — on the I pictures, which are the
+//!   largest, the most quantization-sensitive ("intracoded blocks …
+//!   very likely to produce blocking effects if too coarsely quantized"),
+//!   and the prediction source for everything else.
+//! * **B-picture dropping** ([`drop_b_pictures`]): reduces the *average*
+//!   rate but, as the paper notes, "does not address the problem of
+//!   picture-to-picture rate fluctuations" — the I-picture peak is
+//!   untouched.
+//!
+//! Both return enough bookkeeping to compare against lossless smoothing
+//! in the `lossy` experiment table.
+
+use serde::{Deserialize, Serialize};
+use smooth_mpeg::synth::size_ratio;
+use smooth_mpeg::{PictureType, QuantizerSet};
+use smooth_trace::VideoTrace;
+
+/// Result of quantizer-based peak capping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizerControlResult {
+    /// Adjusted picture sizes (bits, display order).
+    pub sizes: Vec<u64>,
+    /// Quantizer scale actually used per picture.
+    pub quantizers: Vec<u8>,
+    /// Pictures whose quantizer had to be coarsened.
+    pub degraded: usize,
+    /// Pictures that exceeded the budget even at the coarsest quantizer
+    /// (their high-frequency coefficients would be discarded outright).
+    pub truncated: usize,
+    /// The per-picture bit budget that was enforced.
+    pub budget_bits: u64,
+}
+
+impl QuantizerControlResult {
+    /// Mean quantizer scale over pictures of the given type.
+    pub fn mean_quantizer(&self, trace: &VideoTrace, t: PictureType) -> f64 {
+        let qs: Vec<u8> = self
+            .quantizers
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| trace.type_of(i) == t)
+            .map(|(_, &q)| q)
+            .collect();
+        if qs.is_empty() {
+            return 0.0;
+        }
+        qs.iter().map(|&q| f64::from(q)).sum::<f64>() / qs.len() as f64
+    }
+
+    /// Worst quantizer used on any I picture — the paper's §3.1 quality
+    /// red flag (30 produced a "grainy, fuzzy" picture).
+    pub fn worst_i_quantizer(&self, trace: &VideoTrace) -> u8 {
+        self.quantizers
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| trace.type_of(i) == PictureType::I)
+            .map(|(_, &q)| q)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Caps every picture at `peak_bps` by coarsening its quantizer scale:
+/// the smallest `q ≥ base` whose modeled size fits `peak_bps · τ` is
+/// selected (per picture); pictures that cannot fit even at `q = 31` are
+/// truncated to the budget (discarding coefficients).
+pub fn cap_peak_with_quantizer(
+    trace: &VideoTrace,
+    base: QuantizerSet,
+    peak_bps: f64,
+) -> QuantizerControlResult {
+    assert!(peak_bps > 0.0, "peak rate must be positive");
+    let budget = (peak_bps * trace.tau()) as u64;
+    let mut sizes = Vec::with_capacity(trace.len());
+    let mut quantizers = Vec::with_capacity(trace.len());
+    let mut degraded = 0usize;
+    let mut truncated = 0usize;
+
+    for (i, &s0) in trace.sizes.iter().enumerate() {
+        let t = trace.type_of(i);
+        let q0 = base.for_type(t);
+        let mut q = q0;
+        let mut size = s0;
+        while size > budget && q < 31 {
+            q += 1;
+            size = (s0 as f64 * size_ratio(q0, q)).round() as u64;
+        }
+        if q != q0 {
+            degraded += 1;
+        }
+        if size > budget {
+            truncated += 1;
+            size = budget.max(1);
+        }
+        sizes.push(size.max(1));
+        quantizers.push(q);
+    }
+
+    QuantizerControlResult {
+        sizes,
+        quantizers,
+        degraded,
+        truncated,
+        budget_bits: budget,
+    }
+}
+
+/// Result of B-picture dropping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BDropResult {
+    /// Sizes of the transmitted pictures (B pictures removed), display
+    /// order of the survivors.
+    pub sizes: Vec<u64>,
+    /// Number of pictures dropped.
+    pub dropped: usize,
+    /// Effective display rate after dropping (pictures/second) — motion
+    /// becomes jerky below ~20.
+    pub effective_fps: f64,
+    /// Mean rate before dropping, bits/second.
+    pub mean_before_bps: f64,
+    /// Mean rate after dropping (same wall-clock duration).
+    pub mean_after_bps: f64,
+    /// Peak single-picture rate after dropping (unchanged: I pictures
+    /// survive).
+    pub peak_after_bps: f64,
+}
+
+/// Drops every `keep_one_in`-th B picture... no: drops B pictures so that
+/// only one in `keep_one_in` B pictures survives (`keep_one_in == 1`
+/// keeps all, `usize::MAX`-ish drops all). The common congestion response
+/// is dropping all B pictures (`keep_one_in` large).
+pub fn drop_b_pictures(trace: &VideoTrace, keep_one_in: usize) -> BDropResult {
+    assert!(keep_one_in >= 1, "keep_one_in must be >= 1");
+    let mut sizes = Vec::with_capacity(trace.len());
+    let mut dropped = 0usize;
+    let mut b_seen = 0usize;
+    for (i, &s) in trace.sizes.iter().enumerate() {
+        if trace.type_of(i) == PictureType::B {
+            b_seen += 1;
+            if b_seen % keep_one_in != 0 {
+                dropped += 1;
+                continue;
+            }
+        }
+        sizes.push(s);
+    }
+    let duration = trace.duration();
+    let total_after: u64 = sizes.iter().sum();
+    BDropResult {
+        effective_fps: sizes.len() as f64 / duration,
+        mean_before_bps: trace.mean_rate_bps(),
+        mean_after_bps: total_after as f64 / duration,
+        peak_after_bps: sizes.iter().copied().max().unwrap_or(0) as f64 * trace.fps,
+        sizes,
+        dropped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smooth_trace::driving1;
+
+    #[test]
+    fn quantizer_cap_respects_budget() {
+        let trace = driving1();
+        let r = cap_peak_with_quantizer(&trace, QuantizerSet::PAPER, 4.0e6);
+        let budget = r.budget_bits;
+        assert!(
+            r.sizes.iter().all(|&s| s <= budget),
+            "all pictures within budget"
+        );
+        assert_eq!(r.sizes.len(), trace.len());
+    }
+
+    #[test]
+    fn quality_cost_lands_on_i_pictures() {
+        // Cap at the peak the lossless smoother achieves at D = 0.2
+        // (~3.4 Mbps): the lossy alternative must coarsen I pictures far
+        // beyond their base quantizer of 4.
+        let trace = driving1();
+        let r = cap_peak_with_quantizer(&trace, QuantizerSet::PAPER, 3.4e6);
+        assert!(r.degraded > 0);
+        let worst = r.worst_i_quantizer(&trace);
+        assert!(
+            worst >= 8,
+            "I pictures must be coarsened well past 4 (got {worst})"
+        );
+        let mean_i = r.mean_quantizer(&trace, PictureType::I);
+        assert!(mean_i > 6.0, "mean I quantizer {mean_i}");
+        // B pictures were already small: mostly untouched.
+        let mean_b = r.mean_quantizer(&trace, PictureType::B);
+        assert!((15.0..16.0).contains(&mean_b), "mean B quantizer {mean_b}");
+    }
+
+    #[test]
+    fn generous_cap_degrades_nothing() {
+        let trace = driving1();
+        let r = cap_peak_with_quantizer(&trace, QuantizerSet::PAPER, 20.0e6);
+        assert_eq!(r.degraded, 0);
+        assert_eq!(r.truncated, 0);
+        assert_eq!(r.sizes, trace.sizes);
+    }
+
+    #[test]
+    fn impossible_cap_truncates() {
+        let trace = driving1();
+        // 0.5 Mbps budget: ~16.7 kbit per picture — I pictures cannot fit
+        // even at q = 31.
+        let r = cap_peak_with_quantizer(&trace, QuantizerSet::PAPER, 0.5e6);
+        assert!(r.truncated > 0);
+        assert!(r.sizes.iter().all(|&s| s <= r.budget_bits));
+    }
+
+    #[test]
+    fn b_dropping_cuts_mean_not_peak() {
+        // The paper's §3.1 point, quantified: dropping all B pictures
+        // reduces the average rate but the I-picture peak is untouched.
+        let trace = driving1();
+        let r = drop_b_pictures(&trace, usize::MAX);
+        assert!(r.dropped > 0);
+        assert!(
+            r.mean_after_bps < 0.8 * r.mean_before_bps,
+            "mean must fall substantially"
+        );
+        assert!(
+            (r.peak_after_bps - trace.peak_picture_rate_bps()).abs() < 1.0,
+            "peak unchanged: {} vs {}",
+            r.peak_after_bps,
+            trace.peak_picture_rate_bps()
+        );
+        // Display rate collapses from 30 to 10 pictures/s (6 B of 9 gone).
+        assert!(
+            (r.effective_fps - 10.0).abs() < 0.5,
+            "fps {}",
+            r.effective_fps
+        );
+    }
+
+    #[test]
+    fn keep_all_is_identity() {
+        let trace = driving1();
+        let r = drop_b_pictures(&trace, 1);
+        assert_eq!(r.dropped, 0);
+        assert_eq!(r.sizes, trace.sizes);
+        assert!((r.effective_fps - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn keep_every_second_b() {
+        let trace = driving1();
+        let r = drop_b_pictures(&trace, 2);
+        // 200 B pictures in 300: half dropped.
+        assert_eq!(r.dropped, 100);
+        assert_eq!(r.sizes.len(), 200);
+    }
+}

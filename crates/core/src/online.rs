@@ -1,0 +1,353 @@
+//! Streaming (transport-protocol) interface to the smoothing algorithm.
+//!
+//! The paper situates the algorithm inside a transport protocol fed by a
+//! live encoder (Figure 1): pictures arrive one per period, and `notify`
+//! tells the transmitter each picture's rate as soon as it can be
+//! determined. [`OnlineSmoother`] is that interface: feed arrivals with
+//! [`push`](OnlineSmoother::push), receive rate decisions incrementally,
+//! and flush the tail with [`finish`](OnlineSmoother::finish).
+//!
+//! The offline [`crate::Smoother`] and this type share one decision
+//! function, so for a stored video (known length) the streaming schedule
+//! is **bit-identical** to the offline one — a property the test suite
+//! pins down. For live capture (unknown length) the only difference is at
+//! the very end of the sequence: until the encoder signals the end, the
+//! lookahead extends past the final picture using estimates, which can
+//! select slightly different rates for the last `H − 1` pictures. Theorem
+//! 1 is unaffected either way.
+
+use crate::estimate::{PatternEstimator, SizeEstimator};
+use crate::params::SmootherParams;
+use crate::smoother::{
+    decide_one, DecideCtx, PictureSchedule, RateSelection, SmoothingResult, TIME_EPS,
+};
+use smooth_mpeg::GopPattern;
+
+/// Incremental smoother for a live or stored picture stream.
+pub struct OnlineSmoother<E: SizeEstimator = PatternEstimator> {
+    params: SmootherParams,
+    pattern: GopPattern,
+    estimator: E,
+    selection: RateSelection,
+    /// Total length, if known up front (stored video). Enables exact
+    /// equivalence with the offline smoother.
+    expected_total: Option<usize>,
+    /// Sizes pushed so far (display order).
+    arrived: Vec<u64>,
+    /// Decisions already emitted.
+    decided: usize,
+    /// Departure time of the last decided picture.
+    depart: f64,
+    prev_rate: Option<f64>,
+    ended: bool,
+}
+
+impl OnlineSmoother<PatternEstimator> {
+    /// Creates a live smoother with the paper's default estimator and
+    /// basic rate selection.
+    pub fn new(params: SmootherParams, pattern: GopPattern) -> Self {
+        Self::with_estimator(
+            params,
+            pattern,
+            PatternEstimator::default(),
+            RateSelection::Basic,
+            None,
+        )
+    }
+
+    /// Creates a smoother for a stored video of known length; decisions
+    /// match the offline [`crate::smooth`] exactly.
+    pub fn for_stored(params: SmootherParams, pattern: GopPattern, total_pictures: usize) -> Self {
+        Self::with_estimator(
+            params,
+            pattern,
+            PatternEstimator::default(),
+            RateSelection::Basic,
+            Some(total_pictures),
+        )
+    }
+}
+
+impl<E: SizeEstimator> OnlineSmoother<E> {
+    /// Fully customized construction.
+    pub fn with_estimator(
+        params: SmootherParams,
+        pattern: GopPattern,
+        estimator: E,
+        selection: RateSelection,
+        expected_total: Option<usize>,
+    ) -> Self {
+        OnlineSmoother {
+            params,
+            pattern,
+            estimator,
+            selection,
+            expected_total,
+            arrived: Vec::new(),
+            decided: 0,
+            depart: 0.0,
+            prev_rate: None,
+            ended: false,
+        }
+    }
+
+    /// Number of pictures pushed so far.
+    pub fn pictures_pushed(&self) -> usize {
+        self.arrived.len()
+    }
+
+    /// Number of rate decisions emitted so far.
+    pub fn pictures_decided(&self) -> usize {
+        self.decided
+    }
+
+    /// Feeds the next picture's coded size (bits) and returns any newly
+    /// decidable schedules (the paper's `notify` events), in display
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`finish`](Self::finish), or past the
+    /// declared `expected_total`.
+    pub fn push(&mut self, size_bits: u64) -> Vec<PictureSchedule> {
+        assert!(!self.ended, "push after finish()");
+        if let Some(total) = self.expected_total {
+            assert!(
+                self.arrived.len() < total,
+                "push beyond declared total {total}"
+            );
+        }
+        self.arrived.push(size_bits);
+        self.drain()
+    }
+
+    /// Signals the end of the sequence (the paper's `seq_end`) and
+    /// returns the remaining schedules.
+    pub fn finish(&mut self) -> Vec<PictureSchedule> {
+        self.ended = true;
+        self.drain()
+    }
+
+    /// Emits every decision whose preconditions are now met.
+    fn drain(&mut self) -> Vec<PictureSchedule> {
+        let tau = self.params.tau;
+        let k = self.params.k;
+        let n_known: Option<usize> = if self.ended {
+            Some(self.arrived.len())
+        } else {
+            self.expected_total
+        };
+
+        let mut out = Vec::new();
+        loop {
+            let i = self.decided;
+            if let Some(n) = n_known {
+                if i >= n {
+                    break;
+                }
+            }
+            // t_i is known once d_{i−1} is known (it is: i−1 decided).
+            let time = self.depart.max((i + k) as f64 * tau);
+            // Everything that will have arrived by t_i must be in hand;
+            // for K = 0, picture i itself must also be in hand because
+            // its actual size determines the departure time.
+            let arrived_by_time = ((time + TIME_EPS) / tau).floor() as usize;
+            let mut need = arrived_by_time.max(i + k).max(i + 1);
+            if let Some(n) = n_known {
+                need = need.min(n.max(i + 1));
+            }
+            if self.arrived.len() < need && !self.ended {
+                break; // wait for more pushes
+            }
+            if self.arrived.len() <= i {
+                break; // even at end-of-stream we cannot schedule unseen pictures
+            }
+            let visible_len = need.min(self.arrived.len());
+
+            let pattern = self.pattern;
+            let estimator = &self.estimator;
+            let estimate =
+                move |j: usize, visible: &[u64]| estimator.estimate(j, visible, &pattern);
+            let decision = decide_one(&DecideCtx {
+                params: &self.params,
+                estimate: &estimate,
+                pattern_n: pattern.n(),
+                selection: self.selection,
+                visible: &self.arrived[..visible_len],
+                horizon: n_known,
+                i,
+                depart: self.depart,
+                prev_rate: self.prev_rate,
+                size_i: self.arrived[i],
+            });
+            self.depart = decision.depart;
+            self.prev_rate = Some(decision.rate);
+            self.decided += 1;
+            out.push(decision);
+        }
+        out
+    }
+
+    /// Collects all decisions made so far into a [`SmoothingResult`]-style
+    /// container by re-running; prefer accumulating the schedules returned
+    /// by [`push`](Self::push)/[`finish`](Self::finish) in streaming use.
+    pub fn params(&self) -> &SmootherParams {
+        &self.params
+    }
+}
+
+/// Convenience: streams a whole trace through an [`OnlineSmoother`] with
+/// known length and returns the result (equals [`crate::smooth`]).
+pub fn smooth_streaming(
+    trace: &smooth_trace::VideoTrace,
+    params: SmootherParams,
+) -> SmoothingResult {
+    let mut online = OnlineSmoother::for_stored(params, trace.pattern, trace.len());
+    let mut schedule = Vec::with_capacity(trace.len());
+    for &s in &trace.sizes {
+        schedule.extend(online.push(s));
+    }
+    schedule.extend(online.finish());
+    SmoothingResult { params, schedule }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smoother::smooth;
+    use smooth_mpeg::{PictureType, Resolution};
+    use smooth_trace::VideoTrace;
+
+    fn trace(n: usize) -> VideoTrace {
+        let pattern = GopPattern::new(3, 9).unwrap();
+        let sizes: Vec<u64> = (0..n)
+            .map(|i| match pattern.type_at(i) {
+                PictureType::I => 190_000 + (i as u64 % 7) * 1000,
+                PictureType::P => 80_000 + (i as u64 % 5) * 3000,
+                PictureType::B => 17_000 + (i as u64 % 3) * 2000,
+            })
+            .collect();
+        VideoTrace::new("online", pattern, Resolution::VGA, 30.0, sizes).unwrap()
+    }
+
+    #[test]
+    fn stored_mode_matches_offline_exactly() {
+        let t = trace(90);
+        for (d, k, h) in [(0.1, 1, 9), (0.2, 1, 9), (0.2, 3, 9), (0.3, 1, 18)] {
+            let params = SmootherParams::at_30fps(d, k, h).unwrap();
+            let offline = smooth(&t, params);
+            let streamed = smooth_streaming(&t, params);
+            assert_eq!(offline, streamed, "divergence at D={d} K={k} H={h}");
+        }
+    }
+
+    #[test]
+    fn decisions_arrive_incrementally() {
+        let t = trace(45);
+        let params = SmootherParams::at_30fps(0.2, 1, 9).unwrap();
+        let mut online = OnlineSmoother::for_stored(params, t.pattern, t.len());
+        let mut decided_after_each = Vec::new();
+        for &s in &t.sizes {
+            let newly = online.push(s);
+            decided_after_each.push(newly.len());
+        }
+        let tail = online.finish();
+        // Every picture got exactly one decision.
+        let total: usize = decided_after_each.iter().sum::<usize>() + tail.len();
+        assert_eq!(total, 45);
+        // With K = 1 decisions flow during the stream, not only at the
+        // end.
+        assert!(decided_after_each.iter().sum::<usize>() > 30);
+    }
+
+    #[test]
+    fn live_mode_diverges_only_near_the_end() {
+        let t = trace(90);
+        let params = SmootherParams::at_30fps(0.2, 1, 9).unwrap();
+        let offline = smooth(&t, params);
+
+        let mut online = OnlineSmoother::new(params, t.pattern);
+        let mut schedule = Vec::new();
+        for &s in &t.sizes {
+            schedule.extend(online.push(s));
+        }
+        schedule.extend(online.finish());
+        assert_eq!(schedule.len(), 90);
+        // Identical except possibly within the last H pictures, where the
+        // live smoother cannot know the sequence is about to end.
+        let h = params.h;
+        for i in 0..90 - h {
+            assert_eq!(schedule[i], offline.schedule[i], "early divergence at {i}");
+        }
+    }
+
+    #[test]
+    fn live_mode_still_satisfies_theorem1() {
+        let t = trace(90);
+        let params = SmootherParams::at_30fps(0.15, 1, 9).unwrap();
+        let mut online = OnlineSmoother::new(params, t.pattern);
+        let mut schedule = Vec::new();
+        for &s in &t.sizes {
+            schedule.extend(online.push(s));
+        }
+        schedule.extend(online.finish());
+        let result = SmoothingResult { params, schedule };
+        let report = crate::verify::check_theorem1(&result);
+        assert!(report.holds(), "{report:?}");
+    }
+
+    #[test]
+    fn k9_buffers_nine_before_first_decision() {
+        let t = trace(27);
+        let params = SmootherParams::at_30fps(0.4, 9, 9).unwrap();
+        let mut online = OnlineSmoother::for_stored(params, t.pattern, t.len());
+        let mut first_decision_at = None;
+        for (idx, &s) in t.sizes.iter().enumerate() {
+            if !online.push(s).is_empty() && first_decision_at.is_none() {
+                first_decision_at = Some(idx);
+            }
+        }
+        online.finish();
+        // Pictures 0..K-1 = 0..8 must be in hand (and, because t_0 = 9τ
+        // means 9 pictures have arrived by then, exactly 9 pushes).
+        assert_eq!(first_decision_at, Some(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "push after finish")]
+    fn push_after_finish_panics() {
+        let params = SmootherParams::at_30fps(0.2, 1, 9).unwrap();
+        let mut online = OnlineSmoother::new(params, GopPattern::new(3, 9).unwrap());
+        online.finish();
+        online.push(1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond declared total")]
+    fn push_beyond_total_panics() {
+        let params = SmootherParams::at_30fps(0.2, 1, 9).unwrap();
+        let mut online = OnlineSmoother::for_stored(params, GopPattern::new(3, 9).unwrap(), 1);
+        online.push(1000);
+        online.push(1000);
+    }
+
+    #[test]
+    fn finish_without_pictures_is_empty() {
+        let params = SmootherParams::at_30fps(0.2, 1, 9).unwrap();
+        let mut online = OnlineSmoother::new(params, GopPattern::new(3, 9).unwrap());
+        assert!(online.finish().is_empty());
+    }
+
+    #[test]
+    fn counters_track_progress() {
+        let t = trace(18);
+        let params = SmootherParams::at_30fps(0.2, 1, 9).unwrap();
+        let mut online = OnlineSmoother::for_stored(params, t.pattern, 18);
+        for &s in &t.sizes {
+            online.push(s);
+        }
+        assert_eq!(online.pictures_pushed(), 18);
+        online.finish();
+        assert_eq!(online.pictures_decided(), 18);
+    }
+}

@@ -1,0 +1,254 @@
+//! Algorithm parameters `(D, K, H)` and their feasibility conditions.
+//!
+//! The paper characterizes the algorithm by three parameters (§4.1):
+//!
+//! * `D` — the delay bound, in seconds, that every picture must satisfy;
+//! * `K` — the number of complete pictures that must be buffered before the
+//!   server may begin sending the next picture. Theorem 1 guarantees the
+//!   delay bound if and only if `K ≥ 1`;
+//! * `H` — the lookahead interval, in pictures, over which rate bounds are
+//!   intersected to reduce the number of rate changes.
+//!
+//! Feasibility (paper eq. (1)): `D ≥ (K + 1)·τ`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors constructing [`SmootherParams`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamError {
+    /// τ must be positive and finite.
+    BadTau {
+        /// Offending value.
+        tau: f64,
+    },
+    /// D must be positive and finite.
+    BadDelayBound {
+        /// Offending value.
+        d: f64,
+    },
+    /// H must be at least 1 (the algorithm always examines picture `i`
+    /// itself).
+    ZeroH,
+    /// `D < (K + 1)·τ` — the delay bound cannot be satisfied
+    /// (paper eq. (1)).
+    Infeasible {
+        /// Requested delay bound.
+        d: f64,
+        /// Minimum feasible bound `(K + 1)·τ`.
+        minimum: f64,
+    },
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::BadTau { tau } => write!(f, "picture period {tau} must be positive"),
+            ParamError::BadDelayBound { d } => write!(f, "delay bound {d} must be positive"),
+            ParamError::ZeroH => write!(f, "lookahead H must be at least 1"),
+            ParamError::Infeasible { d, minimum } => {
+                write!(
+                    f,
+                    "delay bound {d} < (K+1)·tau = {minimum}: infeasible (paper eq. (1))"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Validated smoothing parameters.
+///
+/// Construct via [`SmootherParams::new`], which enforces eq. (1), or
+/// [`SmootherParams::new_unchecked`] for deliberately infeasible
+/// experiments (e.g. demonstrating delay violations at `K = 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SmootherParams {
+    /// Delay bound `D` in seconds.
+    pub delay_bound: f64,
+    /// Pictures with known sizes before sending starts (`K`).
+    pub k: usize,
+    /// Lookahead interval in pictures (`H ≥ 1`).
+    pub h: usize,
+    /// Picture period τ in seconds (1/30 for all paper experiments).
+    pub tau: f64,
+    /// Optional rate granularity in bits/second: real channels allocate
+    /// discrete rates (the H.261/ISDN world signalled `p × 64 kbit/s`).
+    /// When set, each selected rate is snapped to a multiple of this
+    /// grid *within the Theorem 1 bounds* — rounding up when the rounded
+    /// rate still respects `r_U`, otherwise down, otherwise left exact —
+    /// so the delay bound is never endangered. `None` (the default)
+    /// reproduces the paper exactly.
+    #[serde(default)]
+    pub rate_grid_bps: Option<f64>,
+}
+
+impl SmootherParams {
+    /// Creates validated parameters.
+    pub fn new(delay_bound: f64, k: usize, h: usize, tau: f64) -> Result<Self, ParamError> {
+        if !(tau.is_finite() && tau > 0.0) {
+            return Err(ParamError::BadTau { tau });
+        }
+        if !(delay_bound.is_finite() && delay_bound > 0.0) {
+            return Err(ParamError::BadDelayBound { d: delay_bound });
+        }
+        if h == 0 {
+            return Err(ParamError::ZeroH);
+        }
+        let minimum = (k as f64 + 1.0) * tau;
+        if delay_bound < minimum - 1e-12 {
+            return Err(ParamError::Infeasible {
+                d: delay_bound,
+                minimum,
+            });
+        }
+        Ok(SmootherParams {
+            delay_bound,
+            k,
+            h,
+            tau,
+            rate_grid_bps: None,
+        })
+    }
+
+    /// Creates parameters without the eq. (1) feasibility check (τ and D
+    /// must still be positive). Useful for studying violations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` or `delay_bound` is non-positive/non-finite or if
+    /// `h == 0`.
+    pub fn new_unchecked(delay_bound: f64, k: usize, h: usize, tau: f64) -> Self {
+        assert!(tau.is_finite() && tau > 0.0, "bad tau {tau}");
+        assert!(
+            delay_bound.is_finite() && delay_bound > 0.0,
+            "bad delay bound {delay_bound}"
+        );
+        assert!(h >= 1, "H must be >= 1");
+        SmootherParams {
+            delay_bound,
+            k,
+            h,
+            tau,
+            rate_grid_bps: None,
+        }
+    }
+
+    /// Returns a copy with rate selections snapped to multiples of
+    /// `grid_bps` (e.g. `64_000.0` for p x 64 kbit/s channels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid_bps` is not positive and finite.
+    pub fn with_rate_grid(mut self, grid_bps: f64) -> Self {
+        assert!(
+            grid_bps.is_finite() && grid_bps > 0.0,
+            "bad rate grid {grid_bps}"
+        );
+        self.rate_grid_bps = Some(grid_bps);
+        self
+    }
+
+    /// Parameters at 30 pictures/s — the rate of every paper experiment.
+    pub fn at_30fps(delay_bound: f64, k: usize, h: usize) -> Result<Self, ParamError> {
+        Self::new(delay_bound, k, h, 1.0 / 30.0)
+    }
+
+    /// The paper's recommended configuration (§6): `K = 1`, `H = N`,
+    /// `D = 0.2 s`.
+    pub fn recommended(n: usize) -> Self {
+        Self::at_30fps(0.2, 1, n).expect("0.2 s >= 2/30 s")
+    }
+
+    /// The constant-slack parameterization of Figures 5 (right) and 8:
+    /// `D = slack + (K + 1)·τ` with `slack = 0.1333 s`.
+    pub fn constant_slack(k: usize, h: usize, tau: f64) -> Self {
+        let d = 0.1333 + (k as f64 + 1.0) * tau;
+        Self::new(d, k, h, tau).expect("constant-slack D is feasible by construction")
+    }
+
+    /// Slack above the feasibility minimum: `D − (K + 1)·τ`.
+    pub fn slack(&self) -> f64 {
+        self.delay_bound - (self.k as f64 + 1.0) * self.tau
+    }
+
+    /// `true` if eq. (1) holds.
+    pub fn is_feasible(&self) -> bool {
+        self.slack() >= -1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TAU: f64 = 1.0 / 30.0;
+
+    #[test]
+    fn accepts_paper_recommended() {
+        let p = SmootherParams::recommended(9);
+        assert_eq!(p.k, 1);
+        assert_eq!(p.h, 9);
+        assert!((p.delay_bound - 0.2).abs() < 1e-12);
+        assert!(p.is_feasible());
+    }
+
+    #[test]
+    fn rejects_infeasible_eq1() {
+        // K = 5 needs D >= 6/30 = 0.2.
+        let err = SmootherParams::at_30fps(0.19, 5, 9).unwrap_err();
+        assert!(matches!(err, ParamError::Infeasible { .. }));
+        // Exactly at the boundary is allowed.
+        assert!(SmootherParams::at_30fps(0.2, 5, 9).is_ok());
+    }
+
+    #[test]
+    fn rejects_degenerate_values() {
+        assert!(matches!(
+            SmootherParams::new(0.2, 1, 9, 0.0),
+            Err(ParamError::BadTau { .. })
+        ));
+        assert!(matches!(
+            SmootherParams::new(0.2, 1, 9, f64::NAN),
+            Err(ParamError::BadTau { .. })
+        ));
+        assert!(matches!(
+            SmootherParams::new(-0.1, 1, 9, TAU),
+            Err(ParamError::BadDelayBound { .. })
+        ));
+        assert!(matches!(
+            SmootherParams::new(0.2, 1, 0, TAU),
+            Err(ParamError::ZeroH)
+        ));
+    }
+
+    #[test]
+    fn unchecked_allows_infeasible() {
+        let p = SmootherParams::new_unchecked(0.04, 0, 9, TAU);
+        assert!(p.is_feasible()); // K=0: minimum is tau = 0.0333
+        let p2 = SmootherParams::new_unchecked(0.02, 0, 9, TAU);
+        assert!(!p2.is_feasible());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad tau")]
+    fn unchecked_still_rejects_zero_tau() {
+        SmootherParams::new_unchecked(0.2, 1, 9, 0.0);
+    }
+
+    #[test]
+    fn constant_slack_parameterization() {
+        for k in 1..=12 {
+            let p = SmootherParams::constant_slack(k, 9, TAU);
+            assert!((p.slack() - 0.1333).abs() < 1e-12, "k={k}");
+            assert!(p.is_feasible());
+        }
+    }
+
+    #[test]
+    fn slack_formula() {
+        let p = SmootherParams::at_30fps(0.2, 1, 9).unwrap();
+        assert!((p.slack() - (0.2 - 2.0 / 30.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,236 @@
+//! Receiver-side (decoder buffer) analysis.
+//!
+//! The paper's sender-side guarantee has a direct client-side dual. The
+//! decoder starts displaying pictures a fixed *playback offset* `P` after
+//! capture time zero, consuming picture `i`'s bits at its decode instant
+//! `P + i·τ`. Because the smoother guarantees `d_i ≤ i·τ + D` (Theorem 1,
+//! delay measured from capture), choosing `P ≥ max_i delay_i` — and `P = D`
+//! always suffices — means every picture has fully arrived when the
+//! decoder needs it: **no decoder-buffer underflow, ever**.
+//!
+//! This module makes that dual concrete: it simulates the receiver buffer
+//! against a transmission schedule, finds the minimal feasible playback
+//! offset (it equals the maximum per-picture delay), and sizes the client
+//! buffer (the MPEG "model decoder"/VBV concern of §3.1, transplanted to
+//! the network receiver).
+
+use crate::smoother::SmoothingResult;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a receiver simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReceiverReport {
+    /// Playback offset used (seconds from capture of picture 0's first
+    /// bit to its decode instant).
+    pub playback_offset: f64,
+    /// Pictures whose bits had not fully arrived at their decode instant.
+    pub underflows: usize,
+    /// Largest buffer occupancy observed, in bits (the client buffer a
+    /// set-top box must provision).
+    pub max_buffer_bits: f64,
+    /// Occupancy just before each decode instant, in bits (display
+    /// order) — the decoder's working margin.
+    pub occupancy_before_decode: Vec<f64>,
+}
+
+/// The smallest playback offset with no underflow for this schedule:
+/// exactly the maximum per-picture delay (each picture `i` finishes
+/// arriving at `d_i = i·τ + delay_i`; the decode instant `P + i·τ` must
+/// not precede it).
+pub fn min_playback_offset(result: &SmoothingResult) -> f64 {
+    result.max_delay()
+}
+
+/// Simulates the receiver buffer for `result`'s transmission schedule at
+/// the given playback offset.
+///
+/// Bits arrive continuously at the scheduled rates (zero network delay —
+/// a constant network delay just shifts `playback_offset`); picture `i`'s
+/// bits are removed instantaneously at `playback_offset + i·τ`.
+pub fn simulate_receiver(result: &SmoothingResult, playback_offset: f64) -> ReceiverReport {
+    let tau = result.params.tau;
+    let schedule = &result.schedule;
+    let n = schedule.len();
+
+    // Cumulative bits received by time t: piecewise linear with
+    // breakpoints at picture starts/departures.
+    // received(t) for t in [start_i, depart_i): prefix(i) + rate_i*(t-start_i).
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0.0f64);
+    for p in schedule {
+        let bits = (p.depart - p.start) * p.rate;
+        prefix.push(prefix.last().expect("non-empty") + bits);
+    }
+    let received_at = |t: f64| -> f64 {
+        // Binary search over departure times.
+        let idx = schedule.partition_point(|p| p.depart <= t);
+        if idx >= n {
+            return prefix[n];
+        }
+        let p = &schedule[idx];
+        if t <= p.start {
+            prefix[idx]
+        } else {
+            prefix[idx] + p.rate * (t - p.start)
+        }
+    };
+
+    let mut underflows = 0usize;
+    let mut max_buffer = 0.0f64;
+    let mut occupancy_before_decode = Vec::with_capacity(n);
+    let mut consumed = 0.0f64;
+
+    // Candidate maxima: occupancy grows while receiving and drops at
+    // decode instants, so the maximum over time is attained just before
+    // some decode instant or at the final departure. Evaluate both.
+    for (i, _) in schedule.iter().enumerate() {
+        let decode_t = playback_offset + i as f64 * tau;
+        let have = received_at(decode_t) - consumed;
+        occupancy_before_decode.push(have);
+        max_buffer = max_buffer.max(have);
+        let need = prefix[i + 1] - prefix[i];
+        if have + 1e-6 < need {
+            underflows += 1;
+        }
+        consumed += need;
+    }
+    // Just after the last departure, everything not yet decoded sits in
+    // the buffer.
+    if let Some(last) = schedule.last() {
+        let decoded_by = ((last.depart - playback_offset) / tau)
+            .floor()
+            .max(0.0)
+            .min(n as f64);
+        let consumed_at_depart: f64 = prefix[decoded_by as usize];
+        max_buffer = max_buffer.max(prefix[n] - consumed_at_depart);
+    }
+
+    ReceiverReport {
+        playback_offset,
+        underflows,
+        max_buffer_bits: max_buffer,
+        occupancy_before_decode,
+    }
+}
+
+/// Client buffer requirement at the safe offset `P = D`: the provisioning
+/// number a receiver implementer needs.
+pub fn client_buffer_at_bound(result: &SmoothingResult) -> f64 {
+    simulate_receiver(result, result.params.delay_bound).max_buffer_bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SmootherParams;
+    use crate::smoother::smooth;
+    use smooth_mpeg::{GopPattern, PictureType, Resolution};
+    use smooth_trace::VideoTrace;
+
+    const TAU: f64 = 1.0 / 30.0;
+
+    fn trace(n: usize) -> VideoTrace {
+        let pattern = GopPattern::new(3, 9).unwrap();
+        let sizes: Vec<u64> = (0..n)
+            .map(|i| match pattern.type_at(i) {
+                PictureType::I => 200_000,
+                PictureType::P => 100_000,
+                PictureType::B => 20_000,
+            })
+            .collect();
+        VideoTrace::new("rx", pattern, Resolution::VGA, 30.0, sizes).unwrap()
+    }
+
+    #[test]
+    fn offset_d_never_underflows() {
+        let t = trace(90);
+        for d in [0.1, 0.2, 0.3] {
+            let r = smooth(&t, SmootherParams::at_30fps(d, 1, 9).unwrap());
+            let report = simulate_receiver(&r, d);
+            assert_eq!(report.underflows, 0, "D={d}");
+        }
+    }
+
+    #[test]
+    fn min_offset_equals_max_delay_and_is_tight() {
+        let t = trace(90);
+        let r = smooth(&t, SmootherParams::at_30fps(0.2, 1, 9).unwrap());
+        let p_min = min_playback_offset(&r);
+        assert!((p_min - r.max_delay()).abs() < 1e-12);
+        // At the minimal offset: no underflow.
+        assert_eq!(simulate_receiver(&r, p_min).underflows, 0);
+        // Slightly below: at least one underflow (tightness).
+        assert!(simulate_receiver(&r, p_min - 1e-3).underflows > 0);
+    }
+
+    #[test]
+    fn occupancy_is_per_picture_and_nonnegative_at_safe_offset() {
+        let t = trace(45);
+        let r = smooth(&t, SmootherParams::at_30fps(0.2, 1, 9).unwrap());
+        let report = simulate_receiver(&r, 0.2);
+        assert_eq!(report.occupancy_before_decode.len(), 45);
+        for (i, &occ) in report.occupancy_before_decode.iter().enumerate() {
+            assert!(
+                occ >= t.sizes[i] as f64 - 1e-3,
+                "picture {i} not fully buffered"
+            );
+        }
+    }
+
+    #[test]
+    fn buffer_requirement_grows_with_d() {
+        // A larger delay bound lets the sender run further ahead of the
+        // decoder, so the client must buffer more.
+        let t = trace(180);
+        let b = |d: f64| {
+            let r = smooth(&t, SmootherParams::at_30fps(d, 1, 9).unwrap());
+            client_buffer_at_bound(&r)
+        };
+        assert!(b(0.1) <= b(0.2) + 1.0);
+        assert!(b(0.2) <= b(0.4) + 1.0);
+    }
+
+    #[test]
+    fn buffer_bounded_by_peak_rate_times_offset() {
+        // Occupancy can never exceed what the link can deliver in the
+        // decoder's head start plus one pattern of slack.
+        let t = trace(90);
+        let d = 0.2;
+        let r = smooth(&t, SmootherParams::at_30fps(d, 1, 9).unwrap());
+        let peak = r.rates().into_iter().fold(0.0f64, f64::max);
+        let report = simulate_receiver(&r, d);
+        assert!(
+            report.max_buffer_bits <= peak * (d + 9.0 * TAU),
+            "buffer {} vs cap {}",
+            report.max_buffer_bits,
+            peak * (d + 9.0 * TAU)
+        );
+    }
+
+    #[test]
+    fn huge_offset_buffers_everything() {
+        let t = trace(45);
+        let r = smooth(&t, SmootherParams::at_30fps(0.2, 1, 9).unwrap());
+        let report = simulate_receiver(&r, 10.0);
+        assert_eq!(report.underflows, 0);
+        // With decode starting after all departures, the whole stream is
+        // buffered at its peak.
+        assert!((report.max_buffer_bits - t.total_bits() as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let pattern = GopPattern::new(3, 9).unwrap();
+        let t = VideoTrace {
+            name: "e".into(),
+            pattern,
+            resolution: Resolution::VGA,
+            fps: 30.0,
+            sizes: vec![],
+        };
+        let r = smooth(&t, SmootherParams::at_30fps(0.2, 1, 9).unwrap());
+        let report = simulate_receiver(&r, 0.2);
+        assert_eq!(report.underflows, 0);
+        assert_eq!(report.max_buffer_bits, 0.0);
+    }
+}

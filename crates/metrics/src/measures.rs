@@ -1,0 +1,215 @@
+//! The paper's four quantitative smoothness measures (§5.2) and the
+//! plumbing to compute them for any smoothing run.
+//!
+//! 1. **Area difference** (eq. 16):
+//!    `∫₀ᵀ [r(t) − R(t + (N−K)·τ)]₊ dt / ∫₀ᵀ R(t + (N−K)·τ) dt`
+//!    — how much of `r(t)` pokes above the (time-aligned) ideal rate
+//!    function. The ideal curve is shifted because the basic algorithm
+//!    begins transmitting `(N−K)·τ` seconds earlier than ideal smoothing.
+//! 2. **Number of rate changes** over `[0, T]`.
+//! 3. **Maximum of `r(t)`** over `[0, T]`.
+//! 4. **Standard deviation of `r(t)`** over `[0, T]` (time-weighted).
+
+use crate::step::StepFunction;
+use serde::{Deserialize, Serialize};
+use smooth_core::{ideal_smooth, BaselineResult, SmoothingResult};
+use smooth_trace::VideoTrace;
+
+/// The four measures for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SmoothnessMeasures {
+    /// Eq. (16): normalized positive-part area above the shifted ideal.
+    pub area_difference: f64,
+    /// Times `r(t)` changed value.
+    pub rate_changes: usize,
+    /// Max of `r(t)` in bits/s.
+    pub max_rate_bps: f64,
+    /// Time-weighted SD of `r(t)` in bits/s.
+    pub std_dev_bps: f64,
+}
+
+/// Eq. (16) on explicit step functions: `r` against `ideal` shifted left
+/// by `shift` seconds, over `[0, t_end]`.
+pub fn area_difference(r: &StepFunction, ideal: &StepFunction, shift: f64, t_end: f64) -> f64 {
+    let shifted = ideal.shifted_left(shift);
+    let numerator = r.integrate_with(&shifted, 0.0, t_end, |a, b| (a - b).max(0.0));
+    let denominator = shifted.integral(0.0, t_end);
+    if denominator <= 0.0 {
+        return 0.0;
+    }
+    numerator / denominator
+}
+
+/// The algorithm's rate function `r(t)` as a step function.
+pub fn rate_function(result: &SmoothingResult) -> StepFunction {
+    StepFunction::from_segments(&result.rate_segments())
+}
+
+/// A baseline's rate function as a step function.
+pub fn baseline_rate_function(result: &BaselineResult) -> StepFunction {
+    StepFunction::from_segments(&result.segments)
+}
+
+/// Computes all four measures for a smoothing run on `trace`.
+///
+/// `T` is the duration of the video (`n·τ`), per the paper; the ideal
+/// rate function is regenerated from the trace and shifted by
+/// `(N − K)·τ`.
+pub fn measure(trace: &VideoTrace, result: &SmoothingResult) -> SmoothnessMeasures {
+    let t_end = trace.duration();
+    let r = rate_function(result);
+    let ideal = baseline_rate_function(&ideal_smooth(trace));
+    let shift = (trace.pattern.n() as f64 - result.params.k as f64) * trace.tau();
+    SmoothnessMeasures {
+        area_difference: area_difference(&r, &ideal, shift, t_end),
+        rate_changes: result.rate_changes(),
+        max_rate_bps: r.max_over(0.0, t_end),
+        std_dev_bps: r.std_over(0.0, t_end),
+    }
+}
+
+/// Summary statistics of a delay series (for Figure 5-style comparisons).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DelayStats {
+    /// Number of pictures.
+    pub count: usize,
+    /// Smallest delay (seconds).
+    pub min: f64,
+    /// Largest delay (seconds).
+    pub max: f64,
+    /// Mean delay (seconds).
+    pub mean: f64,
+    /// Delays exceeding `bound`, if a bound was given.
+    pub over_bound: usize,
+}
+
+/// Computes delay statistics, counting entries above `bound` when given.
+pub fn delay_stats(delays: &[f64], bound: Option<f64>) -> DelayStats {
+    if delays.is_empty() {
+        return DelayStats {
+            count: 0,
+            min: 0.0,
+            max: 0.0,
+            mean: 0.0,
+            over_bound: 0,
+        };
+    }
+    let min = delays.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = delays.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mean = delays.iter().sum::<f64>() / delays.len() as f64;
+    let over_bound = match bound {
+        Some(b) => delays.iter().filter(|&&d| d > b + 1e-9).count(),
+        None => 0,
+    };
+    DelayStats {
+        count: delays.len(),
+        min,
+        max,
+        mean,
+        over_bound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smooth_core::{smooth, SmootherParams};
+    use smooth_mpeg::{GopPattern, PictureType, Resolution};
+
+    fn toy_trace(n: usize) -> VideoTrace {
+        let pattern = GopPattern::new(3, 9).unwrap();
+        let sizes: Vec<u64> = (0..n)
+            .map(|i| match pattern.type_at(i) {
+                PictureType::I => 180_000,
+                PictureType::P => 90_000,
+                PictureType::B => 18_000,
+            })
+            .collect();
+        VideoTrace::new("toy", pattern, Resolution::VGA, 30.0, sizes).unwrap()
+    }
+
+    #[test]
+    fn area_difference_of_identical_functions_is_zero() {
+        let f = StepFunction::new(vec![0.0, 1.0, 2.0], vec![3.0, 5.0]);
+        assert_eq!(area_difference(&f, &f, 0.0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn area_difference_basic_case() {
+        // r = 4 on [0,2); ideal = 2 on [0,2).
+        let r = StepFunction::new(vec![0.0, 2.0], vec![4.0]);
+        let ideal = StepFunction::new(vec![0.0, 2.0], vec![2.0]);
+        // positive part: (4-2)*2 = 4; denominator 2*2 = 4 -> 1.0.
+        assert!((area_difference(&r, &ideal, 0.0, 2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn area_difference_shift_alignment() {
+        // Ideal delayed by 1s relative to r; shifting by 1 aligns them.
+        let r = StepFunction::new(vec![0.0, 2.0], vec![4.0]);
+        let ideal = StepFunction::new(vec![1.0, 3.0], vec![4.0]);
+        assert!(area_difference(&r, &ideal, 1.0, 2.0) < 1e-12);
+        // Without the shift, half of r pokes above nothing.
+        assert!(area_difference(&r, &ideal, 0.0, 2.0) > 0.4);
+    }
+
+    #[test]
+    fn area_difference_degenerate_denominator() {
+        let r = StepFunction::new(vec![0.0, 1.0], vec![2.0]);
+        let ideal = StepFunction::zero();
+        assert_eq!(area_difference(&r, &ideal, 0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn measures_on_periodic_trace_are_sane() {
+        let trace = toy_trace(180);
+        let result = smooth(&trace, SmootherParams::at_30fps(0.2, 1, 9).unwrap());
+        let m = measure(&trace, &result);
+        let pattern_rate = (180_000.0 + 2.0 * 90_000.0 + 6.0 * 18_000.0) / (9.0 / 30.0);
+        // On a perfectly periodic trace the algorithm settles to roughly
+        // the pattern rate, so the max is near it and the SD is small.
+        assert!(
+            m.max_rate_bps < 1.6 * pattern_rate,
+            "max {}",
+            m.max_rate_bps
+        );
+        assert!(m.std_dev_bps < 0.45 * pattern_rate, "std {}", m.std_dev_bps);
+        assert!(m.area_difference < 0.3, "area {}", m.area_difference);
+        assert!(m.rate_changes < 25, "changes {}", m.rate_changes);
+    }
+
+    #[test]
+    fn larger_d_weakly_improves_every_measure_on_toy() {
+        let trace = toy_trace(180);
+        let m1 = measure(
+            &trace,
+            &smooth(&trace, SmootherParams::at_30fps(0.1, 1, 9).unwrap()),
+        );
+        let m3 = measure(
+            &trace,
+            &smooth(&trace, SmootherParams::at_30fps(0.3, 1, 9).unwrap()),
+        );
+        assert!(m3.max_rate_bps <= m1.max_rate_bps + 1.0);
+        assert!(m3.std_dev_bps <= m1.std_dev_bps + 1.0);
+    }
+
+    #[test]
+    fn delay_stats_basics() {
+        let d = vec![0.05, 0.08, 0.12, 0.07];
+        let s = delay_stats(&d, Some(0.1));
+        assert_eq!(s.count, 4);
+        assert!((s.min - 0.05).abs() < 1e-12);
+        assert!((s.max - 0.12).abs() < 1e-12);
+        assert!((s.mean - 0.08).abs() < 1e-12);
+        assert_eq!(s.over_bound, 1);
+        let s2 = delay_stats(&d, None);
+        assert_eq!(s2.over_bound, 0);
+    }
+
+    #[test]
+    fn delay_stats_empty() {
+        let s = delay_stats(&[], Some(0.1));
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max, 0.0);
+    }
+}

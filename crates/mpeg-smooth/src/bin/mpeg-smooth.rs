@@ -1,0 +1,14 @@
+//! The `mpeg-smooth` command-line entry point; the logic lives in
+//! `mpeg_smooth::cli` so the test suite can exercise it in-process.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    match mpeg_smooth::cli::run(&args, &mut stdout) {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,543 @@
+//! The `mpeg-smooth` command-line tool.
+//!
+//! Thin, dependency-free argument handling over the library:
+//!
+//! ```text
+//! mpeg-smooth generate --sequence driving1 --out trace.csv
+//! mpeg-smooth analyze  --trace trace.csv
+//! mpeg-smooth smooth   --trace trace.csv --d 0.2 --k 1 --h 9 \
+//!                      [--policy basic|moving-average] \
+//!                      [--schedule out.csv] [--segments out.csv] [--json out.json]
+//! mpeg-smooth verify   --trace trace.csv --d 0.2 --k 1 --h 9
+//! ```
+//!
+//! All functions take an output sink so the test suite can drive the CLI
+//! without spawning processes.
+
+use smooth_core::{check_theorem1, smooth_with, PatternEstimator, RateSelection, SmootherParams};
+use smooth_metrics::{measure, schedule_to_csv, segments_to_csv};
+use smooth_trace::{
+    analyze, autocorrelation, generate, load_csv, save_csv, SequenceId, VideoTrace,
+};
+use std::fmt;
+use std::io::Write;
+
+/// CLI failure, carrying the message shown to the user.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parsed `--key value` options. Sub-commands take no positional
+/// arguments, so any are rejected up front.
+struct Options {
+    pairs: Vec<(String, String)>,
+    consumed: Vec<bool>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, CliError> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| err(format!("option --{key} requires a value")))?;
+                pairs.push((key.to_string(), value.clone()));
+            } else {
+                return Err(err(format!("unexpected argument {a:?}")));
+            }
+        }
+        let consumed = vec![false; pairs.len()];
+        Ok(Options { pairs, consumed })
+    }
+
+    fn take(&mut self, key: &str) -> Option<String> {
+        for (i, (k, v)) in self.pairs.iter().enumerate() {
+            if k == key && !self.consumed[i] {
+                self.consumed[i] = true;
+                return Some(v.clone());
+            }
+        }
+        None
+    }
+
+    fn take_parsed<T: std::str::FromStr>(&mut self, key: &str) -> Result<Option<T>, CliError> {
+        match self.take(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| err(format!("--{key}: cannot parse {v:?}"))),
+        }
+    }
+
+    fn finish(&self) -> Result<(), CliError> {
+        for (i, (k, _)) in self.pairs.iter().enumerate() {
+            if !self.consumed[i] {
+                return Err(err(format!("unknown option --{k}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+const USAGE: &str = "\
+mpeg-smooth - lossless smoothing of MPEG video (Lam/Chow/Yau, SIGCOMM '94)
+
+usage:
+  mpeg-smooth generate --sequence <driving1|driving2|tennis|backyard>
+                       [--pictures N] [--seed S] --out <trace.csv>
+  mpeg-smooth analyze  --trace <trace.csv>
+  mpeg-smooth smooth   --trace <trace.csv> --d <seconds> [--k K] [--h H]
+                       [--policy basic|moving-average] [--grid <bps>]
+                       [--schedule <out.csv>] [--segments <out.csv>] [--json <out.json>]
+  mpeg-smooth verify   --trace <trace.csv> --d <seconds> [--k K] [--h H]
+  mpeg-smooth help
+";
+
+/// Runs the CLI. Returns the process exit code.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
+    let Some((command, rest)) = args.split_first() else {
+        let _ = write!(out, "{USAGE}");
+        return Ok(2);
+    };
+    match command.as_str() {
+        "generate" => cmd_generate(rest, out),
+        "analyze" => cmd_analyze(rest, out),
+        "smooth" => cmd_smooth(rest, out),
+        "verify" => cmd_verify(rest, out),
+        "help" | "--help" | "-h" => {
+            let _ = write!(out, "{USAGE}");
+            Ok(0)
+        }
+        other => Err(err(format!(
+            "unknown command {other:?}; try `mpeg-smooth help`"
+        ))),
+    }
+}
+
+fn sequence_by_name(name: &str) -> Result<SequenceId, CliError> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "driving1" => SequenceId::Driving1,
+        "driving2" => SequenceId::Driving2,
+        "tennis" => SequenceId::Tennis,
+        "backyard" => SequenceId::Backyard,
+        other => return Err(err(format!("unknown sequence {other:?}"))),
+    })
+}
+
+fn default_pictures(id: SequenceId) -> usize {
+    match id {
+        SequenceId::Backyard => 360,
+        _ => 300,
+    }
+}
+
+fn canonical_seed(id: SequenceId) -> u64 {
+    match id {
+        SequenceId::Driving1 | SequenceId::Driving2 => 0xD1,
+        SequenceId::Tennis => 0x7E,
+        SequenceId::Backyard => 0xBA,
+    }
+}
+
+fn cmd_generate(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
+    let mut opts = Options::parse(args)?;
+    let name = opts
+        .take("sequence")
+        .ok_or_else(|| err("generate requires --sequence"))?;
+    let id = sequence_by_name(&name)?;
+    let pictures = opts
+        .take_parsed::<usize>("pictures")?
+        .unwrap_or_else(|| default_pictures(id));
+    let seed = opts
+        .take_parsed::<u64>("seed")?
+        .unwrap_or_else(|| canonical_seed(id));
+    let path = opts
+        .take("out")
+        .ok_or_else(|| err("generate requires --out"))?;
+    opts.finish()?;
+
+    let trace = generate(id, pictures, seed);
+    save_csv(&trace, &path).map_err(|e| err(format!("writing {path}: {e}")))?;
+    let _ = writeln!(
+        out,
+        "wrote {} ({} pictures, pattern {}, {:.2} Mbps mean) to {path}",
+        trace.name,
+        trace.len(),
+        trace.pattern,
+        trace.mean_rate_bps() / 1e6
+    );
+    Ok(0)
+}
+
+fn load_trace(opts: &mut Options) -> Result<VideoTrace, CliError> {
+    let path = opts
+        .take("trace")
+        .ok_or_else(|| err("missing --trace <file.csv>"))?;
+    load_csv(&path).map_err(|e| err(format!("loading {path}: {e}")))
+}
+
+fn cmd_analyze(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
+    let mut opts = Options::parse(args)?;
+    let trace = load_trace(&mut opts)?;
+    opts.finish()?;
+
+    let st = analyze(&trace);
+    let _ = writeln!(
+        out,
+        "sequence : {} ({} pictures, pattern {})",
+        trace.name,
+        trace.len(),
+        trace.pattern
+    );
+    let _ = writeln!(
+        out,
+        "I        : n={:4} mean={:9.0} min={:8} max={:8}",
+        st.i.count, st.i.mean, st.i.min, st.i.max
+    );
+    let _ = writeln!(
+        out,
+        "P        : n={:4} mean={:9.0} min={:8} max={:8}",
+        st.p.count, st.p.mean, st.p.min, st.p.max
+    );
+    let _ = writeln!(
+        out,
+        "B        : n={:4} mean={:9.0} min={:8} max={:8}",
+        st.b.count, st.b.mean, st.b.min, st.b.max
+    );
+    let _ = writeln!(
+        out,
+        "rates    : mean {:.3} Mbps, peak {:.3} Mbps ({:.1}x)",
+        st.mean_rate_bps / 1e6,
+        st.peak_rate_bps / 1e6,
+        st.peak_to_mean
+    );
+    let n = trace.pattern.n();
+    let acf = autocorrelation(&trace, &[n, 2 * n]);
+    if let Some(&(_, r)) = acf.first() {
+        let _ = writeln!(out, "acf      : r(N)={r:.3}");
+    }
+    Ok(0)
+}
+
+/// Shared parameter parsing for `smooth` and `verify`.
+fn params_from(opts: &mut Options, tau: f64) -> Result<SmootherParams, CliError> {
+    let d = opts
+        .take_parsed::<f64>("d")?
+        .ok_or_else(|| err("missing --d <seconds> (the delay bound)"))?;
+    let k = opts.take_parsed::<usize>("k")?.unwrap_or(1);
+    let h = opts.take_parsed::<usize>("h")?.unwrap_or(0);
+    // H defaults to N, but N is the caller's: 0 sentinel resolved there.
+    SmootherParams::new(d, k, h.max(1), tau)
+        .map_err(|e| err(e.to_string()))
+        .map(|mut p| {
+            if h == 0 {
+                p.h = 0; // resolved by caller to N
+            }
+            p
+        })
+}
+
+fn cmd_smooth(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
+    let mut opts = Options::parse(args)?;
+    let trace = load_trace(&mut opts)?;
+    let mut params = params_from(&mut opts, trace.tau())?;
+    if params.h == 0 {
+        params.h = trace.pattern.n();
+    }
+    if let Some(grid) = opts.take_parsed::<f64>("grid")? {
+        if !(grid.is_finite() && grid > 0.0) {
+            return Err(err(format!("--grid must be a positive rate, got {grid}")));
+        }
+        params = params.with_rate_grid(grid);
+    }
+    let policy = match opts.take("policy").as_deref() {
+        None | Some("basic") => RateSelection::Basic,
+        Some("moving-average") => RateSelection::MovingAverage,
+        Some(other) => return Err(err(format!("unknown policy {other:?}"))),
+    };
+    let schedule_path = opts.take("schedule");
+    let segments_path = opts.take("segments");
+    let json_path = opts.take("json");
+    opts.finish()?;
+
+    let estimator = PatternEstimator::default();
+    let result = smooth_with(&trace, params, &estimator, policy);
+    let report = check_theorem1(&result);
+    let m = measure(&trace, &result);
+
+    let _ = writeln!(
+        out,
+        "smoothed {} pictures: D={:.4}s K={} H={} policy={:?}",
+        trace.len(),
+        params.delay_bound,
+        params.k,
+        params.h,
+        policy
+    );
+    let _ = writeln!(
+        out,
+        "max delay {:.4}s ({} violations), {} rate changes, peak {:.3} Mbps, SD {:.1} kbps",
+        report.max_delay,
+        report.delay_violations,
+        m.rate_changes,
+        m.max_rate_bps / 1e6,
+        m.std_dev_bps / 1e3
+    );
+
+    if let Some(p) = schedule_path {
+        std::fs::write(&p, schedule_to_csv(&result))
+            .map_err(|e| err(format!("writing {p}: {e}")))?;
+        let _ = writeln!(out, "schedule -> {p}");
+    }
+    if let Some(p) = segments_path {
+        std::fs::write(&p, segments_to_csv(&result.rate_segments()))
+            .map_err(|e| err(format!("writing {p}: {e}")))?;
+        let _ = writeln!(out, "segments -> {p}");
+    }
+    if let Some(p) = json_path {
+        smooth_metrics::save_result_json(&result, &p)
+            .map_err(|e| err(format!("writing {p}: {e}")))?;
+        let _ = writeln!(out, "result -> {p}");
+    }
+    Ok(0)
+}
+
+fn cmd_verify(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
+    let mut opts = Options::parse(args)?;
+    let trace = load_trace(&mut opts)?;
+    let mut params = params_from(&mut opts, trace.tau())?;
+    if params.h == 0 {
+        params.h = trace.pattern.n();
+    }
+    opts.finish()?;
+
+    let estimator = PatternEstimator::default();
+    let result = smooth_with(&trace, params, &estimator, RateSelection::Basic);
+    let report = check_theorem1(&result);
+    let _ = writeln!(
+        out,
+        "Theorem 1 audit: {} pictures, max delay {:.4}s (bound {:.4}s)",
+        report.pictures, report.max_delay, params.delay_bound
+    );
+    let _ =
+        writeln!(
+        out,
+        "delay violations: {}  start-bound violations: {}  continuous service: {}  rate bounds: {}",
+        report.delay_violations,
+        report.start_bound_violations,
+        report.continuous_service,
+        if report.rate_bound_violations == 0 { "ok" } else { "VIOLATED" }
+    );
+    if report.holds() {
+        let _ = writeln!(out, "PASS");
+        Ok(0)
+    } else {
+        let _ = writeln!(out, "FAIL");
+        Ok(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cli(args: &[&str]) -> (i32, String) {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        let code = run(&args, &mut out).unwrap_or_else(|e| panic!("cli error: {e}"));
+        (code, String::from_utf8(out).expect("utf8 output"))
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("mpeg_smooth_cli_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_and_empty() {
+        let (code, text) = run_cli(&["help"]);
+        assert_eq!(code, 0);
+        assert!(text.contains("usage:"));
+        let (code, _) = run_cli(&[]);
+        assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let args = vec!["frobnicate".to_string()];
+        let mut out = Vec::new();
+        assert!(run(&args, &mut out).is_err());
+    }
+
+    #[test]
+    fn generate_analyze_smooth_verify_roundtrip() {
+        let trace_path = tmp("toolchain.csv");
+        let (code, text) = run_cli(&[
+            "generate",
+            "--sequence",
+            "driving1",
+            "--pictures",
+            "90",
+            "--out",
+            &trace_path,
+        ]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("Driving1"));
+
+        let (code, text) = run_cli(&["analyze", "--trace", &trace_path]);
+        assert_eq!(code, 0);
+        assert!(text.contains("peak"), "{text}");
+        assert!(text.contains("acf"), "{text}");
+
+        let sched = tmp("schedule.csv");
+        let json = tmp("result.json");
+        let (code, text) = run_cli(&[
+            "smooth",
+            "--trace",
+            &trace_path,
+            "--d",
+            "0.2",
+            "--schedule",
+            &sched,
+            "--json",
+            &json,
+        ]);
+        assert_eq!(code, 0, "{text}");
+        assert!(
+            text.contains("0 violations") || text.contains("(0 violations)"),
+            "{text}"
+        );
+        let csv = std::fs::read_to_string(&sched).expect("schedule file");
+        assert_eq!(csv.lines().count(), 91);
+        let loaded = smooth_metrics::load_result_json(&json).expect("json");
+        assert_eq!(loaded.schedule.len(), 90);
+
+        let (code, text) = run_cli(&["verify", "--trace", &trace_path, "--d", "0.2"]);
+        assert_eq!(code, 0);
+        assert!(text.contains("PASS"), "{text}");
+    }
+
+    #[test]
+    fn smooth_rejects_infeasible_params() {
+        let trace_path = tmp("infeasible.csv");
+        run_cli(&[
+            "generate",
+            "--sequence",
+            "backyard",
+            "--pictures",
+            "48",
+            "--out",
+            &trace_path,
+        ]);
+        let args: Vec<String> = ["smooth", "--trace", &trace_path, "--d", "0.01"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut out = Vec::new();
+        let e = run(&args, &mut out).unwrap_err();
+        assert!(e.0.contains("infeasible"), "{e}");
+    }
+
+    #[test]
+    fn unknown_option_is_reported() {
+        let args: Vec<String> = ["analyze", "--trace", "x.csv", "--wat", "1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut out = Vec::new();
+        let e = run(&args, &mut out).unwrap_err();
+        // --trace fails first (missing file) or --wat is reported; both
+        // are errors. Accept either but require an error message.
+        assert!(!e.0.is_empty());
+    }
+
+    #[test]
+    fn moving_average_policy_accepted() {
+        let trace_path = tmp("ma.csv");
+        run_cli(&[
+            "generate",
+            "--sequence",
+            "tennis",
+            "--pictures",
+            "90",
+            "--out",
+            &trace_path,
+        ]);
+        let (code, text) = run_cli(&[
+            "smooth",
+            "--trace",
+            &trace_path,
+            "--d",
+            "0.2",
+            "--policy",
+            "moving-average",
+        ]);
+        assert_eq!(code, 0);
+        assert!(text.contains("MovingAverage"), "{text}");
+    }
+
+    #[test]
+    fn grid_option_snaps_rates() {
+        let trace_path = tmp("grid.csv");
+        run_cli(&[
+            "generate",
+            "--sequence",
+            "driving1",
+            "--pictures",
+            "90",
+            "--out",
+            &trace_path,
+        ]);
+        let json = tmp("grid_result.json");
+        let (code, _) = run_cli(&[
+            "smooth",
+            "--trace",
+            &trace_path,
+            "--d",
+            "0.2",
+            "--grid",
+            "64000",
+            "--json",
+            &json,
+        ]);
+        assert_eq!(code, 0);
+        let result = smooth_metrics::load_result_json(&json).expect("json");
+        let on_grid = result
+            .schedule
+            .iter()
+            .filter(|p| (p.rate / 64_000.0 - (p.rate / 64_000.0).round()).abs() < 1e-9)
+            .count();
+        assert!(
+            on_grid * 10 >= result.schedule.len() * 8,
+            "{on_grid}/{}",
+            result.schedule.len()
+        );
+    }
+
+    #[test]
+    fn generate_requires_sequence_and_out() {
+        for args in [
+            vec!["generate", "--out", "/tmp/x.csv"],
+            vec!["generate", "--sequence", "tennis"],
+        ] {
+            let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            let mut out = Vec::new();
+            assert!(run(&args, &mut out).is_err());
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Time-varying GOP patterns.
+//!
+//! The paper notes (§4.4) that "an MPEG encoder may change the values of
+//! M and N adaptively as the scene in a video sequence changes. Note that
+//! the basic algorithm does not depend on M, and it uses N only in
+//! picture size estimation." A [`PatternSchedule`] represents such an
+//! encoder's output: a sequence of pattern segments, the last of which
+//! repeats indefinitely.
+
+use crate::gop::{GopPattern, PatternError};
+use crate::picture::PictureType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One run of pictures encoded with a fixed pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternSegment {
+    /// Number of pictures in this segment. The final segment's count is a
+    /// minimum — its pattern continues indefinitely.
+    pub pictures: usize,
+    /// The pattern in force.
+    pub pattern: GopPattern,
+}
+
+/// A piecewise-constant pattern assignment over display indices.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternSchedule {
+    segments: Vec<PatternSegment>,
+}
+
+/// Errors building a [`PatternSchedule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// No segments given.
+    Empty,
+    /// A segment has zero pictures.
+    EmptySegment {
+        /// Index of the offending segment.
+        index: usize,
+    },
+    /// A segment's length is not a whole number of its pattern's periods,
+    /// so the next segment would start mid-pattern (a real encoder
+    /// switches patterns at a GOP boundary).
+    MisalignedSwitch {
+        /// Index of the offending segment.
+        index: usize,
+        /// The segment's length.
+        pictures: usize,
+        /// The pattern period it must be a multiple of.
+        n: usize,
+    },
+    /// Underlying pattern error.
+    Pattern(PatternError),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::Empty => write!(f, "pattern schedule has no segments"),
+            ScheduleError::EmptySegment { index } => write!(f, "segment {index} has no pictures"),
+            ScheduleError::MisalignedSwitch { index, pictures, n } => write!(
+                f,
+                "segment {index} has {pictures} pictures, not a multiple of its pattern period {n}"
+            ),
+            ScheduleError::Pattern(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl PatternSchedule {
+    /// A constant schedule (degenerates to a plain [`GopPattern`]).
+    pub fn constant(pattern: GopPattern) -> Self {
+        PatternSchedule {
+            segments: vec![PatternSegment {
+                pictures: pattern.n(),
+                pattern,
+            }],
+        }
+    }
+
+    /// Builds a schedule, validating that every non-final segment ends on
+    /// a GOP boundary of its own pattern.
+    pub fn new(segments: Vec<PatternSegment>) -> Result<Self, ScheduleError> {
+        if segments.is_empty() {
+            return Err(ScheduleError::Empty);
+        }
+        for (index, seg) in segments.iter().enumerate() {
+            if seg.pictures == 0 {
+                return Err(ScheduleError::EmptySegment { index });
+            }
+            let n = seg.pattern.n();
+            if index + 1 < segments.len() && seg.pictures % n != 0 {
+                return Err(ScheduleError::MisalignedSwitch {
+                    index,
+                    pictures: seg.pictures,
+                    n,
+                });
+            }
+        }
+        Ok(PatternSchedule { segments })
+    }
+
+    /// The segments.
+    pub fn segments(&self) -> &[PatternSegment] {
+        &self.segments
+    }
+
+    /// The segment in force at display index `i`, with the index of the
+    /// segment's first picture.
+    fn segment_at(&self, i: usize) -> (usize, &PatternSegment) {
+        let mut offset = 0usize;
+        for seg in &self.segments {
+            if i < offset + seg.pictures {
+                return (offset, seg);
+            }
+            offset += seg.pictures;
+        }
+        // Past the declared end: the last segment's pattern repeats.
+        let last = self.segments.last().expect("validated non-empty");
+        let last_offset: usize = self
+            .segments
+            .iter()
+            .take(self.segments.len() - 1)
+            .map(|s| s.pictures)
+            .sum();
+        (last_offset, last)
+    }
+
+    /// Picture type at display index `i`.
+    pub fn type_at(&self, i: usize) -> PictureType {
+        let (offset, seg) = self.segment_at(i);
+        seg.pattern.type_at(i - offset)
+    }
+
+    /// The pattern in force at display index `i`.
+    pub fn pattern_at(&self, i: usize) -> GopPattern {
+        self.segment_at(i).1.pattern
+    }
+
+    /// The pattern period `N` in force at display index `i` (what the
+    /// smoothing algorithm's estimation and moving average use).
+    pub fn n_at(&self, i: usize) -> usize {
+        self.pattern_at(i).n()
+    }
+
+    /// Display indices at which the pattern changes.
+    pub fn switch_points(&self) -> Vec<usize> {
+        let mut points = Vec::new();
+        let mut offset = 0usize;
+        for (k, seg) in self.segments.iter().enumerate() {
+            if k > 0 {
+                points.push(offset);
+            }
+            offset += seg.pictures;
+        }
+        points
+    }
+
+    /// Total pictures covered by explicit segments (the last pattern
+    /// continues past this).
+    pub fn declared_len(&self) -> usize {
+        self.segments.iter().map(|s| s.pictures).sum()
+    }
+}
+
+impl fmt::Display for PatternSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .segments
+            .iter()
+            .map(|s| format!("{}x{}", s.pictures / s.pattern.n().max(1), s.pattern))
+            .collect();
+        write!(f, "{}", parts.join(" then "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::picture::PictureType::{B, I, P};
+
+    fn two_phase() -> PatternSchedule {
+        PatternSchedule::new(vec![
+            PatternSegment {
+                pictures: 18,
+                pattern: GopPattern::new(3, 9).unwrap(),
+            },
+            PatternSegment {
+                pictures: 12,
+                pattern: GopPattern::new(2, 6).unwrap(),
+            },
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn types_follow_active_pattern() {
+        let s = two_phase();
+        // First segment: IBBPBBPBB twice.
+        assert_eq!(s.type_at(0), I);
+        assert_eq!(s.type_at(3), P);
+        assert_eq!(s.type_at(9), I);
+        // Second segment starts at 18 with IBPBPB.
+        assert_eq!(s.type_at(18), I);
+        assert_eq!(s.type_at(19), B);
+        assert_eq!(s.type_at(20), P);
+        assert_eq!(s.type_at(24), I);
+    }
+
+    #[test]
+    fn last_pattern_repeats_forever() {
+        let s = two_phase();
+        // Beyond the declared 30 pictures the (2,6) pattern continues.
+        assert_eq!(s.type_at(30), I);
+        assert_eq!(s.type_at(36), I);
+        assert_eq!(s.type_at(31), B);
+        assert_eq!(s.n_at(100), 6);
+    }
+
+    #[test]
+    fn switch_points_and_lengths() {
+        let s = two_phase();
+        assert_eq!(s.switch_points(), vec![18]);
+        assert_eq!(s.declared_len(), 30);
+        assert_eq!(s.n_at(0), 9);
+        assert_eq!(s.n_at(17), 9);
+        assert_eq!(s.n_at(18), 6);
+    }
+
+    #[test]
+    fn constant_schedule_matches_pattern() {
+        let pat = GopPattern::new(3, 9).unwrap();
+        let s = PatternSchedule::constant(pat);
+        for i in 0..40 {
+            assert_eq!(s.type_at(i), pat.type_at(i));
+        }
+        assert!(s.switch_points().is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_schedules() {
+        assert!(matches!(
+            PatternSchedule::new(vec![]),
+            Err(ScheduleError::Empty)
+        ));
+        assert!(matches!(
+            PatternSchedule::new(vec![PatternSegment {
+                pictures: 0,
+                pattern: GopPattern::new(3, 9).unwrap()
+            }]),
+            Err(ScheduleError::EmptySegment { index: 0 })
+        ));
+        // 10 is not a multiple of 9: mid-GOP switch rejected.
+        assert!(matches!(
+            PatternSchedule::new(vec![
+                PatternSegment {
+                    pictures: 10,
+                    pattern: GopPattern::new(3, 9).unwrap()
+                },
+                PatternSegment {
+                    pictures: 6,
+                    pattern: GopPattern::new(2, 6).unwrap()
+                },
+            ]),
+            Err(ScheduleError::MisalignedSwitch {
+                index: 0,
+                pictures: 10,
+                n: 9
+            })
+        ));
+        // Final segment may end mid-pattern (it repeats anyway).
+        assert!(PatternSchedule::new(vec![
+            PatternSegment {
+                pictures: 9,
+                pattern: GopPattern::new(3, 9).unwrap()
+            },
+            PatternSegment {
+                pictures: 7,
+                pattern: GopPattern::new(2, 6).unwrap()
+            },
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn display_format() {
+        let s = two_phase();
+        assert_eq!(s.to_string(), "2xIBBPBBPBB then 2xIBPBPB");
+    }
+}

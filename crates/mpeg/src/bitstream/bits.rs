@@ -1,0 +1,290 @@
+//! MSB-first bit-level reading and writing.
+//!
+//! MPEG-1 headers are defined as packed big-endian bit fields; these two
+//! small cursors are the substrate for the header codecs in
+//! [`super::headers`].
+
+/// Error returned when a [`BitReader`] runs off the end of its input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfBits {
+    /// Bit position at which the read was attempted.
+    pub at_bit: usize,
+    /// Number of bits requested.
+    pub wanted: usize,
+}
+
+impl std::fmt::Display for OutOfBits {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "out of bits: wanted {} at bit offset {}",
+            self.wanted, self.at_bit
+        )
+    }
+}
+
+impl std::error::Error for OutOfBits {}
+
+/// Append-only MSB-first bit writer backed by a `Vec<u8>`.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already used in the final byte (0 when byte-aligned).
+    bit_pos: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `n` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 32` or if `value` has bits set above bit `n`.
+    pub fn put(&mut self, value: u32, n: u8) {
+        assert!(n <= 32, "cannot write more than 32 bits at once");
+        assert!(
+            n == 32 || value < (1u32 << n),
+            "value {value:#x} does not fit in {n} bits"
+        );
+        for i in (0..n).rev() {
+            let bit = (value >> i) & 1;
+            if self.bit_pos == 0 {
+                self.bytes.push(0);
+            }
+            let last = self.bytes.last_mut().expect("pushed above");
+            *last |= (bit as u8) << (7 - self.bit_pos);
+            self.bit_pos = (self.bit_pos + 1) % 8;
+        }
+    }
+
+    /// Appends a single marker bit set to 1 (MPEG uses these to prevent
+    /// start-code emulation inside headers).
+    pub fn marker(&mut self) {
+        self.put(1, 1);
+    }
+
+    /// Pads with zero bits to the next byte boundary (no-op if aligned).
+    pub fn byte_align(&mut self) {
+        if self.bit_pos != 0 {
+            let pad = 8 - self.bit_pos;
+            self.put(0, pad);
+        }
+    }
+
+    /// `true` when the cursor sits on a byte boundary.
+    pub fn is_aligned(&self) -> bool {
+        self.bit_pos == 0
+    }
+
+    /// Appends whole bytes (must be byte-aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the writer is not byte-aligned.
+    pub fn put_bytes(&mut self, data: &[u8]) {
+        assert!(self.is_aligned(), "put_bytes requires byte alignment");
+        self.bytes.extend_from_slice(data);
+    }
+
+    /// Total bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8
+            - if self.bit_pos == 0 {
+                0
+            } else {
+                (8 - self.bit_pos) as usize
+            }
+    }
+
+    /// Finishes the stream, zero-padding to a byte boundary.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        self.byte_align();
+        self.bytes
+    }
+}
+
+/// MSB-first bit reader over a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Absolute bit cursor from the start of `data`.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader positioned at the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0 }
+    }
+
+    /// Creates a reader positioned at `byte_offset` bytes into `data`.
+    pub fn at_byte(data: &'a [u8], byte_offset: usize) -> Self {
+        BitReader {
+            data,
+            pos: byte_offset * 8,
+        }
+    }
+
+    /// Reads `n` bits as an unsigned integer, most significant first.
+    pub fn get(&mut self, n: u8) -> Result<u32, OutOfBits> {
+        assert!(n <= 32, "cannot read more than 32 bits at once");
+        if self.pos + n as usize > self.data.len() * 8 {
+            return Err(OutOfBits {
+                at_bit: self.pos,
+                wanted: n as usize,
+            });
+        }
+        let mut value: u32 = 0;
+        for _ in 0..n {
+            let byte = self.data[self.pos / 8];
+            let bit = (byte >> (7 - (self.pos % 8))) & 1;
+            value = (value << 1) | u32::from(bit);
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    /// Reads a marker bit and verifies it is 1.
+    pub fn expect_marker(&mut self) -> Result<bool, OutOfBits> {
+        Ok(self.get(1)? == 1)
+    }
+
+    /// Skips forward to the next byte boundary.
+    pub fn byte_align(&mut self) {
+        self.pos = self.pos.div_ceil(8) * 8;
+    }
+
+    /// Current absolute bit position.
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Current byte offset (rounded down).
+    pub fn byte_pos(&self) -> usize {
+        self.pos / 8
+    }
+
+    /// Bits remaining.
+    pub fn remaining_bits(&self) -> usize {
+        self.data.len() * 8 - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.put(0b101, 3);
+        w.put(0xABC, 12);
+        w.marker();
+        w.put(0, 1);
+        w.put(0x7FFF_FFFF, 32);
+        let bytes = w.into_bytes();
+
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get(3).unwrap(), 0b101);
+        assert_eq!(r.get(12).unwrap(), 0xABC);
+        assert!(r.expect_marker().unwrap());
+        assert_eq!(r.get(1).unwrap(), 0);
+        assert_eq!(r.get(32).unwrap(), 0x7FFF_FFFF);
+    }
+
+    #[test]
+    fn alignment_padding_is_zero() {
+        let mut w = BitWriter::new();
+        w.put(0b1, 1);
+        w.byte_align();
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0b1000_0000]);
+    }
+
+    #[test]
+    fn bit_len_tracks_writes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.put(0b11, 2);
+        assert_eq!(w.bit_len(), 2);
+        w.put(0x1F, 5);
+        assert_eq!(w.bit_len(), 7);
+        w.byte_align();
+        assert_eq!(w.bit_len(), 8);
+        w.put_bytes(&[1, 2, 3]);
+        assert_eq!(w.bit_len(), 32);
+    }
+
+    #[test]
+    fn put_bytes_after_align() {
+        let mut w = BitWriter::new();
+        w.put(0xFF, 8);
+        w.put_bytes(&[0xAA, 0x55]);
+        assert_eq!(w.into_bytes(), vec![0xFF, 0xAA, 0x55]);
+    }
+
+    #[test]
+    #[should_panic(expected = "byte alignment")]
+    fn put_bytes_unaligned_panics() {
+        let mut w = BitWriter::new();
+        w.put(1, 1);
+        w.put_bytes(&[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_panics() {
+        BitWriter::new().put(0b100, 2);
+    }
+
+    #[test]
+    fn reader_out_of_bits() {
+        let data = [0xFFu8];
+        let mut r = BitReader::new(&data);
+        assert_eq!(r.get(7).unwrap(), 0x7F);
+        let err = r.get(2).unwrap_err();
+        assert_eq!(
+            err,
+            OutOfBits {
+                at_bit: 7,
+                wanted: 2
+            }
+        );
+        // The failed read must not consume anything.
+        assert_eq!(r.get(1).unwrap(), 1);
+    }
+
+    #[test]
+    fn reader_byte_align_and_positions() {
+        let data = [0b1010_0000, 0xCD];
+        let mut r = BitReader::new(&data);
+        assert_eq!(r.get(3).unwrap(), 0b101);
+        assert_eq!(r.byte_pos(), 0);
+        r.byte_align();
+        assert_eq!(r.bit_pos(), 8);
+        assert_eq!(r.get(8).unwrap(), 0xCD);
+        assert_eq!(r.remaining_bits(), 0);
+    }
+
+    #[test]
+    fn reader_at_byte_offset() {
+        let data = [0x00, 0x00, 0x42];
+        let mut r = BitReader::at_byte(&data, 2);
+        assert_eq!(r.get(8).unwrap(), 0x42);
+    }
+
+    #[test]
+    fn zero_bit_reads_and_writes() {
+        let mut w = BitWriter::new();
+        w.put(0, 0); // no-op
+        w.put(0x3, 2);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get(0).unwrap(), 0);
+        assert_eq!(r.get(2).unwrap(), 0x3);
+    }
+}

@@ -1,0 +1,133 @@
+//! Bit-error injection utilities.
+//!
+//! The paper's authors studied the effect of manually flipping bits in
+//! coded streams (§2, citing the extended technical report): the decoder
+//! loses slices until the next start code. These helpers reproduce that
+//! experiment against [`super::parser::parse_stream`].
+
+use smooth_rng::Rng;
+
+/// Flips a single bit (0-based, MSB-first within each byte).
+///
+/// # Panics
+///
+/// Panics if `bit_index` is out of range.
+pub fn flip_bit(data: &mut [u8], bit_index: usize) {
+    let byte = bit_index / 8;
+    assert!(byte < data.len(), "bit index {bit_index} out of range");
+    data[byte] ^= 0x80 >> (bit_index % 8);
+}
+
+/// Flips `count` uniformly random bits (with replacement — the same bit
+/// may be flipped twice, cancelling out, exactly like independent channel
+/// errors).
+pub fn flip_random_bits(data: &mut [u8], count: usize, rng: &mut Rng) {
+    let total_bits = data.len() * 8;
+    if total_bits == 0 {
+        return;
+    }
+    for _ in 0..count {
+        let idx = rng.below(total_bits as u64) as usize;
+        flip_bit(data, idx);
+    }
+}
+
+/// Applies a binary symmetric channel with bit-error rate `ber` to the
+/// buffer, returning the number of bits flipped.
+pub fn apply_ber(data: &mut [u8], ber: f64, rng: &mut Rng) -> usize {
+    assert!(
+        (0.0..=1.0).contains(&ber),
+        "bit error rate {ber} outside [0,1]"
+    );
+    let mut flipped = 0;
+    for byte in 0..data.len() {
+        for bit in 0..8 {
+            if rng.next_f64() < ber {
+                flip_bit(data, byte * 8 + bit);
+                flipped += 1;
+            }
+        }
+    }
+    flipped
+}
+
+/// Zeroes a run of bytes — models a lost network packet of `len` bytes at
+/// `offset` (clamped to the buffer).
+pub fn zero_bytes(data: &mut [u8], offset: usize, len: usize) {
+    let end = offset.saturating_add(len).min(data.len());
+    if offset < data.len() {
+        data[offset..end].fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_bit_is_involutive() {
+        let mut data = vec![0u8; 4];
+        flip_bit(&mut data, 0);
+        assert_eq!(data[0], 0x80);
+        flip_bit(&mut data, 0);
+        assert_eq!(data[0], 0x00);
+        flip_bit(&mut data, 31);
+        assert_eq!(data[3], 0x01);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flip_bit_bounds_checked() {
+        flip_bit(&mut [0u8; 1], 8);
+    }
+
+    #[test]
+    fn flip_random_bits_changes_data() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut data = vec![0u8; 64];
+        flip_random_bits(&mut data, 10, &mut rng);
+        let ones: u32 = data.iter().map(|b| b.count_ones()).sum();
+        assert!(ones > 0 && ones <= 10);
+    }
+
+    #[test]
+    fn flip_random_bits_on_empty_is_noop() {
+        let mut rng = Rng::seed_from_u64(1);
+        flip_random_bits(&mut [], 10, &mut rng);
+    }
+
+    #[test]
+    fn ber_zero_flips_nothing() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut data = vec![0xAAu8; 32];
+        assert_eq!(apply_ber(&mut data, 0.0, &mut rng), 0);
+        assert!(data.iter().all(|&b| b == 0xAA));
+    }
+
+    #[test]
+    fn ber_one_flips_everything() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut data = vec![0xAAu8; 8];
+        assert_eq!(apply_ber(&mut data, 1.0, &mut rng), 64);
+        assert!(data.iter().all(|&b| b == 0x55));
+    }
+
+    #[test]
+    fn ber_rate_is_approximately_respected() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut data = vec![0u8; 100_000];
+        let flipped = apply_ber(&mut data, 1e-3, &mut rng);
+        // 800k bits * 1e-3 = 800 expected; allow wide tolerance.
+        assert!((600..=1000).contains(&flipped), "{flipped}");
+    }
+
+    #[test]
+    fn zero_bytes_clamps() {
+        let mut data = vec![0xFFu8; 10];
+        zero_bytes(&mut data, 8, 10);
+        assert_eq!(&data[..8], &[0xFF; 8]);
+        assert_eq!(&data[8..], &[0, 0]);
+        // Entirely out of range: no-op, no panic.
+        zero_bytes(&mut data, 100, 5);
+    }
+}

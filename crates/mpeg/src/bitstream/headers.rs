@@ -1,0 +1,671 @@
+//! Typed MPEG-1 header structures and their bit-level codecs.
+//!
+//! Field layouts follow ISO/IEC 11172-2. One documented simplification:
+//! after each slice header this model byte-aligns and stores opaque
+//! macroblock payload bytes (real MPEG packs variable-length macroblock
+//! codes unaligned). The structural properties the paper relies on —
+//! unique byte-aligned start codes, slice-level resynchronization, header
+//! field semantics — are preserved exactly.
+
+use super::bits::{BitReader, BitWriter, OutOfBits};
+use crate::picture::{PictureType, Resolution};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors decoding a header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeaderError {
+    /// Ran out of input bits.
+    Truncated(OutOfBits),
+    /// A marker bit that must be 1 was 0 (classic symptom of corruption).
+    BadMarker {
+        /// Which header contained the bad marker.
+        context: &'static str,
+    },
+    /// A field held a value with no defined meaning.
+    InvalidField {
+        /// Which field.
+        field: &'static str,
+        /// The offending raw value.
+        value: u32,
+    },
+}
+
+impl fmt::Display for HeaderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeaderError::Truncated(e) => write!(f, "truncated header: {e}"),
+            HeaderError::BadMarker { context } => write!(f, "bad marker bit in {context}"),
+            HeaderError::InvalidField { field, value } => {
+                write!(f, "invalid value {value} for field {field}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HeaderError {}
+
+impl From<OutOfBits> for HeaderError {
+    fn from(e: OutOfBits) -> Self {
+        HeaderError::Truncated(e)
+    }
+}
+
+/// The MPEG-1 `picture_rate` code (table 2-D.4 of the standard).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PictureRate {
+    /// 23.976 pictures/s.
+    R23_976,
+    /// 24 pictures/s.
+    R24,
+    /// 25 pictures/s.
+    R25,
+    /// 29.97 pictures/s.
+    R29_97,
+    /// 30 pictures/s — the rate used for every experiment in the paper.
+    R30,
+    /// 50 pictures/s.
+    R50,
+    /// 59.94 pictures/s.
+    R59_94,
+    /// 60 pictures/s.
+    R60,
+}
+
+impl PictureRate {
+    /// The 4-bit code carried in the sequence header.
+    pub fn code(self) -> u8 {
+        match self {
+            PictureRate::R23_976 => 1,
+            PictureRate::R24 => 2,
+            PictureRate::R25 => 3,
+            PictureRate::R29_97 => 4,
+            PictureRate::R30 => 5,
+            PictureRate::R50 => 6,
+            PictureRate::R59_94 => 7,
+            PictureRate::R60 => 8,
+        }
+    }
+
+    /// Inverse of [`code`](Self::code).
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            1 => PictureRate::R23_976,
+            2 => PictureRate::R24,
+            3 => PictureRate::R25,
+            4 => PictureRate::R29_97,
+            5 => PictureRate::R30,
+            6 => PictureRate::R50,
+            7 => PictureRate::R59_94,
+            8 => PictureRate::R60,
+            _ => return None,
+        })
+    }
+
+    /// Pictures per second.
+    pub fn fps(self) -> f64 {
+        match self {
+            PictureRate::R23_976 => 24000.0 / 1001.0,
+            PictureRate::R24 => 24.0,
+            PictureRate::R25 => 25.0,
+            PictureRate::R29_97 => 30000.0 / 1001.0,
+            PictureRate::R30 => 30.0,
+            PictureRate::R50 => 50.0,
+            PictureRate::R59_94 => 60000.0 / 1001.0,
+            PictureRate::R60 => 60.0,
+        }
+    }
+
+    /// Picture period τ in seconds (`1 / fps`).
+    pub fn tau(self) -> f64 {
+        1.0 / self.fps()
+    }
+}
+
+/// MPEG-1 sequence header: the control information a decoder needs before
+/// anything else (paper §2: spatial resolution, picture rate, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SequenceHeader {
+    /// Picture dimensions.
+    pub resolution: Resolution,
+    /// Pel aspect ratio code (1 = square pixels).
+    pub pel_aspect_ratio: u8,
+    /// Display picture rate.
+    pub picture_rate: PictureRate,
+    /// Bit rate in units of 400 bit/s; `0x3FFFF` flags variable bit rate
+    /// (which is what a VBR encoder writes).
+    pub bit_rate_units: u32,
+    /// VBV buffer size in units of 16 kbit.
+    pub vbv_buffer_size: u16,
+    /// Constrained-parameters flag.
+    pub constrained: bool,
+}
+
+/// `bit_rate` value signalling variable bit rate.
+pub const BIT_RATE_VBR: u32 = 0x3FFFF;
+
+impl SequenceHeader {
+    /// A VBR sequence header at the given resolution and 30 pictures/s —
+    /// the configuration of all four paper sequences.
+    pub fn vbr(resolution: Resolution) -> Self {
+        SequenceHeader {
+            resolution,
+            pel_aspect_ratio: 1,
+            picture_rate: PictureRate::R30,
+            bit_rate_units: BIT_RATE_VBR,
+            vbv_buffer_size: 112, // generous decoder buffer
+            constrained: false,
+        }
+    }
+
+    /// Encodes the header body (everything after the start code).
+    pub fn encode(&self, w: &mut BitWriter) {
+        w.put(u32::from(self.resolution.width), 12);
+        w.put(u32::from(self.resolution.height), 12);
+        w.put(u32::from(self.pel_aspect_ratio), 4);
+        w.put(u32::from(self.picture_rate.code()), 4);
+        w.put(self.bit_rate_units, 18);
+        w.marker();
+        w.put(u32::from(self.vbv_buffer_size), 10);
+        w.put(u32::from(self.constrained), 1);
+        w.put(0, 1); // load_intra_quantizer_matrix: use default
+        w.put(0, 1); // load_non_intra_quantizer_matrix: use default
+        debug_assert!(w.is_aligned(), "sequence header body is exactly 8 bytes");
+    }
+
+    /// Decodes the header body.
+    pub fn decode(r: &mut BitReader<'_>) -> Result<Self, HeaderError> {
+        let width = r.get(12)?;
+        let height = r.get(12)?;
+        if width == 0 || height == 0 {
+            return Err(HeaderError::InvalidField {
+                field: "horizontal/vertical_size",
+                value: 0,
+            });
+        }
+        let pel_aspect_ratio = r.get(4)? as u8;
+        let rate_code = r.get(4)? as u8;
+        let picture_rate = PictureRate::from_code(rate_code).ok_or(HeaderError::InvalidField {
+            field: "picture_rate",
+            value: rate_code.into(),
+        })?;
+        let bit_rate_units = r.get(18)?;
+        if !r.expect_marker()? {
+            return Err(HeaderError::BadMarker {
+                context: "sequence header",
+            });
+        }
+        let vbv_buffer_size = r.get(10)? as u16;
+        let constrained = r.get(1)? == 1;
+        let load_intra = r.get(1)?;
+        if load_intra == 1 {
+            // 64 bytes of custom matrix would follow; this model always
+            // writes the default matrices.
+            return Err(HeaderError::InvalidField {
+                field: "load_intra_quantizer_matrix",
+                value: 1,
+            });
+        }
+        let load_non_intra = r.get(1)?;
+        if load_non_intra == 1 {
+            return Err(HeaderError::InvalidField {
+                field: "load_non_intra_quantizer_matrix",
+                value: 1,
+            });
+        }
+        Ok(SequenceHeader {
+            resolution: Resolution {
+                width: width as u16,
+                height: height as u16,
+            },
+            pel_aspect_ratio,
+            picture_rate,
+            bit_rate_units,
+            vbv_buffer_size,
+            constrained,
+        })
+    }
+}
+
+/// Wall-clock time code carried in every group header (paper §2: "a time
+/// code specified in hours, minutes, and seconds is included in each group
+/// header" to support random access).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeCode {
+    /// Drop-frame flag (NTSC bookkeeping; always false here).
+    pub drop_frame: bool,
+    /// Hours (0–23).
+    pub hours: u8,
+    /// Minutes (0–59).
+    pub minutes: u8,
+    /// Seconds (0–59).
+    pub seconds: u8,
+    /// Picture count within the second.
+    pub pictures: u8,
+}
+
+impl TimeCode {
+    /// Builds a time code for display picture index `i` at `fps` pictures
+    /// per second.
+    pub fn from_picture_index(i: usize, fps: f64) -> Self {
+        let total_seconds = (i as f64 / fps).floor() as u64;
+        TimeCode {
+            drop_frame: false,
+            hours: ((total_seconds / 3600) % 24) as u8,
+            minutes: ((total_seconds / 60) % 60) as u8,
+            seconds: (total_seconds % 60) as u8,
+            pictures: (i as u64 % fps.round() as u64) as u8,
+        }
+    }
+}
+
+/// Group-of-pictures header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupHeader {
+    /// Time code of the first displayed picture of the group.
+    pub time_code: TimeCode,
+    /// `true` if the group can be decoded without the previous group
+    /// (no leading B pictures referencing backwards).
+    pub closed_gop: bool,
+    /// Set by editors when the previous reference was removed.
+    pub broken_link: bool,
+}
+
+impl GroupHeader {
+    /// Encodes the header body (27 bits, then byte-aligned).
+    pub fn encode(&self, w: &mut BitWriter) {
+        w.put(u32::from(self.time_code.drop_frame), 1);
+        w.put(u32::from(self.time_code.hours), 5);
+        w.put(u32::from(self.time_code.minutes), 6);
+        w.marker();
+        w.put(u32::from(self.time_code.seconds), 6);
+        w.put(u32::from(self.time_code.pictures), 6);
+        w.put(u32::from(self.closed_gop), 1);
+        w.put(u32::from(self.broken_link), 1);
+        w.byte_align();
+    }
+
+    /// Decodes the header body.
+    pub fn decode(r: &mut BitReader<'_>) -> Result<Self, HeaderError> {
+        let drop_frame = r.get(1)? == 1;
+        let hours = r.get(5)? as u8;
+        let minutes = r.get(6)? as u8;
+        if !r.expect_marker()? {
+            return Err(HeaderError::BadMarker {
+                context: "group header",
+            });
+        }
+        let seconds = r.get(6)? as u8;
+        let pictures = r.get(6)? as u8;
+        if minutes > 59 || seconds > 59 {
+            return Err(HeaderError::InvalidField {
+                field: "time_code",
+                value: u32::from(minutes) << 8 | u32::from(seconds),
+            });
+        }
+        let closed_gop = r.get(1)? == 1;
+        let broken_link = r.get(1)? == 1;
+        r.byte_align();
+        Ok(GroupHeader {
+            time_code: TimeCode {
+                drop_frame,
+                hours,
+                minutes,
+                seconds,
+                pictures,
+            },
+            closed_gop,
+            broken_link,
+        })
+    }
+}
+
+/// Picture header (paper §2: "picture type, temporal reference").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PictureHeader {
+    /// Display order of this picture within its group, modulo 1024.
+    pub temporal_reference: u16,
+    /// I, P, or B.
+    pub picture_type: PictureType,
+    /// VBV delay (16 bits; `0xFFFF` for VBR).
+    pub vbv_delay: u16,
+    /// Forward motion vector precision/range code (P and B pictures).
+    pub forward_f_code: u8,
+    /// Backward motion vector precision/range code (B pictures).
+    pub backward_f_code: u8,
+}
+
+impl PictureHeader {
+    /// A header for picture `temporal_reference` of the given type, with
+    /// VBR `vbv_delay` and typical f-codes.
+    pub fn new(temporal_reference: u16, picture_type: PictureType) -> Self {
+        PictureHeader {
+            temporal_reference,
+            picture_type,
+            vbv_delay: 0xFFFF,
+            forward_f_code: 3,
+            backward_f_code: 3,
+        }
+    }
+
+    /// Encodes the header body.
+    pub fn encode(&self, w: &mut BitWriter) {
+        w.put(u32::from(self.temporal_reference), 10);
+        w.put(u32::from(self.picture_type.coding_type_code()), 3);
+        w.put(u32::from(self.vbv_delay), 16);
+        if matches!(self.picture_type, PictureType::P | PictureType::B) {
+            w.put(0, 1); // full_pel_forward_vector
+            w.put(u32::from(self.forward_f_code), 3);
+        }
+        if self.picture_type == PictureType::B {
+            w.put(0, 1); // full_pel_backward_vector
+            w.put(u32::from(self.backward_f_code), 3);
+        }
+        w.put(0, 1); // extra_bit_picture = 0: no extra information
+        w.byte_align();
+    }
+
+    /// Decodes the header body.
+    pub fn decode(r: &mut BitReader<'_>) -> Result<Self, HeaderError> {
+        let temporal_reference = r.get(10)? as u16;
+        let code = r.get(3)? as u8;
+        let picture_type =
+            PictureType::from_coding_type_code(code).ok_or(HeaderError::InvalidField {
+                field: "picture_coding_type",
+                value: code.into(),
+            })?;
+        let vbv_delay = r.get(16)? as u16;
+        let mut forward_f_code = 0;
+        let mut backward_f_code = 0;
+        if matches!(picture_type, PictureType::P | PictureType::B) {
+            let _full_pel = r.get(1)?;
+            forward_f_code = r.get(3)? as u8;
+            if forward_f_code == 0 {
+                return Err(HeaderError::InvalidField {
+                    field: "forward_f_code",
+                    value: 0,
+                });
+            }
+        }
+        if picture_type == PictureType::B {
+            let _full_pel = r.get(1)?;
+            backward_f_code = r.get(3)? as u8;
+            if backward_f_code == 0 {
+                return Err(HeaderError::InvalidField {
+                    field: "backward_f_code",
+                    value: 0,
+                });
+            }
+        }
+        let extra = r.get(1)?;
+        if extra != 0 {
+            return Err(HeaderError::InvalidField {
+                field: "extra_bit_picture",
+                value: extra,
+            });
+        }
+        r.byte_align();
+        Ok(PictureHeader {
+            temporal_reference,
+            picture_type,
+            vbv_delay,
+            forward_f_code,
+            backward_f_code,
+        })
+    }
+}
+
+/// Slice header. The slice's vertical position travels in its start code;
+/// the body carries the quantizer scale (paper §2/§3.1: the quantizer scale
+/// in the slice header is the encoder's rate-control knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SliceHeader {
+    /// 1-based vertical position (== the slice start-code suffix).
+    pub vertical_position: u8,
+    /// Quantizer scale, 1–31. Coarser (larger) values shrink the slice at
+    /// the cost of visual quality.
+    pub quantizer_scale: u8,
+}
+
+impl SliceHeader {
+    /// Creates a slice header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vertical_position` is outside `1..=0xAF` or
+    /// `quantizer_scale` outside `1..=31`.
+    pub fn new(vertical_position: u8, quantizer_scale: u8) -> Self {
+        assert!(
+            (1..=0xAF).contains(&vertical_position),
+            "slice vertical position {vertical_position} outside 1..=0xAF"
+        );
+        assert!(
+            (1..=31).contains(&quantizer_scale),
+            "quantizer scale {quantizer_scale} outside 1..=31"
+        );
+        SliceHeader {
+            vertical_position,
+            quantizer_scale,
+        }
+    }
+
+    /// Encodes the body (quantizer scale + extra bit), then byte-aligns
+    /// (model simplification; see module docs).
+    pub fn encode(&self, w: &mut BitWriter) {
+        w.put(u32::from(self.quantizer_scale), 5);
+        w.put(0, 1); // extra_bit_slice
+        w.byte_align();
+    }
+
+    /// Decodes the body given the vertical position from the start code.
+    pub fn decode(vertical_position: u8, r: &mut BitReader<'_>) -> Result<Self, HeaderError> {
+        let quantizer_scale = r.get(5)? as u8;
+        if quantizer_scale == 0 {
+            return Err(HeaderError::InvalidField {
+                field: "quantizer_scale",
+                value: 0,
+            });
+        }
+        let extra = r.get(1)?;
+        if extra != 0 {
+            return Err(HeaderError::InvalidField {
+                field: "extra_bit_slice",
+                value: extra,
+            });
+        }
+        r.byte_align();
+        Ok(SliceHeader {
+            vertical_position,
+            quantizer_scale,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_seq(h: SequenceHeader) -> SequenceHeader {
+        let mut w = BitWriter::new();
+        h.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 8, "sequence header body is 8 bytes");
+        SequenceHeader::decode(&mut BitReader::new(&bytes)).unwrap()
+    }
+
+    #[test]
+    fn sequence_header_roundtrip() {
+        let h = SequenceHeader::vbr(Resolution::VGA);
+        assert_eq!(roundtrip_seq(h), h);
+        let h2 = SequenceHeader {
+            resolution: Resolution::CIF,
+            pel_aspect_ratio: 8,
+            picture_rate: PictureRate::R25,
+            bit_rate_units: 3750, // 1.5 Mbps
+            vbv_buffer_size: 20,
+            constrained: true,
+        };
+        assert_eq!(roundtrip_seq(h2), h2);
+    }
+
+    #[test]
+    fn sequence_header_rejects_bad_rate_code() {
+        let mut w = BitWriter::new();
+        w.put(640, 12);
+        w.put(480, 12);
+        w.put(1, 4);
+        w.put(0, 4); // invalid picture_rate code 0
+        w.put(BIT_RATE_VBR, 18);
+        w.marker();
+        w.put(112, 10);
+        w.put(0, 3);
+        let bytes = w.into_bytes();
+        let err = SequenceHeader::decode(&mut BitReader::new(&bytes)).unwrap_err();
+        assert!(matches!(
+            err,
+            HeaderError::InvalidField {
+                field: "picture_rate",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn sequence_header_detects_cleared_marker() {
+        let h = SequenceHeader::vbr(Resolution::VGA);
+        let mut w = BitWriter::new();
+        h.encode(&mut w);
+        let mut bytes = w.into_bytes();
+        // The marker bit is bit 50 of the body: byte 6, mask 0x20.
+        bytes[6] &= !0x20;
+        let err = SequenceHeader::decode(&mut BitReader::new(&bytes)).unwrap_err();
+        assert_eq!(
+            err,
+            HeaderError::BadMarker {
+                context: "sequence header"
+            }
+        );
+    }
+
+    #[test]
+    fn picture_rate_codes() {
+        for code in 1..=8u8 {
+            let r = PictureRate::from_code(code).unwrap();
+            assert_eq!(r.code(), code);
+            assert!(r.fps() > 0.0);
+        }
+        assert_eq!(PictureRate::from_code(0), None);
+        assert_eq!(PictureRate::from_code(9), None);
+        assert!((PictureRate::R30.tau() - 1.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn group_header_roundtrip() {
+        let h = GroupHeader {
+            time_code: TimeCode::from_picture_index(3723 * 30 + 7, 30.0),
+            closed_gop: true,
+            broken_link: false,
+        };
+        assert_eq!(h.time_code.hours, 1);
+        assert_eq!(h.time_code.minutes, 2);
+        assert_eq!(h.time_code.seconds, 3);
+        assert_eq!(h.time_code.pictures, 7);
+        let mut w = BitWriter::new();
+        h.encode(&mut w);
+        let bytes = w.into_bytes();
+        let decoded = GroupHeader::decode(&mut BitReader::new(&bytes)).unwrap();
+        assert_eq!(decoded, h);
+    }
+
+    #[test]
+    fn time_code_wraps_at_24h() {
+        let i = 25 * 3600 * 30; // 25 hours of pictures
+        let tc = TimeCode::from_picture_index(i, 30.0);
+        assert_eq!(tc.hours, 1);
+    }
+
+    #[test]
+    fn picture_header_roundtrip_all_types() {
+        for t in [PictureType::I, PictureType::P, PictureType::B] {
+            let h = PictureHeader::new(42, t);
+            let mut w = BitWriter::new();
+            h.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            let decoded = PictureHeader::decode(&mut r).unwrap();
+            assert_eq!(decoded.temporal_reference, 42);
+            assert_eq!(decoded.picture_type, t);
+            match t {
+                PictureType::I => {
+                    assert_eq!(decoded.forward_f_code, 0);
+                    assert_eq!(decoded.backward_f_code, 0);
+                }
+                PictureType::P => {
+                    assert_eq!(decoded.forward_f_code, 3);
+                    assert_eq!(decoded.backward_f_code, 0);
+                }
+                PictureType::B => {
+                    assert_eq!(decoded.forward_f_code, 3);
+                    assert_eq!(decoded.backward_f_code, 3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn picture_header_rejects_type_zero() {
+        let mut w = BitWriter::new();
+        w.put(0, 10);
+        w.put(0, 3); // coding type 0: forbidden
+        w.put(0xFFFF, 16);
+        w.put(0, 1);
+        let bytes = w.into_bytes();
+        let err = PictureHeader::decode(&mut BitReader::new(&bytes)).unwrap_err();
+        assert!(matches!(
+            err,
+            HeaderError::InvalidField {
+                field: "picture_coding_type",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn slice_header_roundtrip() {
+        let h = SliceHeader::new(17, 15);
+        let mut w = BitWriter::new();
+        h.encode(&mut w);
+        let bytes = w.into_bytes();
+        let decoded = SliceHeader::decode(17, &mut BitReader::new(&bytes)).unwrap();
+        assert_eq!(decoded, h);
+    }
+
+    #[test]
+    fn slice_header_rejects_zero_quantizer() {
+        let mut w = BitWriter::new();
+        w.put(0, 5);
+        w.put(0, 1);
+        let bytes = w.into_bytes();
+        let err = SliceHeader::decode(1, &mut BitReader::new(&bytes)).unwrap_err();
+        assert!(matches!(
+            err,
+            HeaderError::InvalidField {
+                field: "quantizer_scale",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantizer scale")]
+    fn slice_header_panics_on_bad_scale() {
+        SliceHeader::new(1, 32);
+    }
+
+    #[test]
+    fn truncated_input_is_reported() {
+        let bytes = [0u8; 2];
+        let err = SequenceHeader::decode(&mut BitReader::new(&bytes)).unwrap_err();
+        assert!(matches!(err, HeaderError::Truncated(_)));
+    }
+}

@@ -1,0 +1,36 @@
+//! Structural model of the MPEG-1 video bit stream (paper §2).
+//!
+//! The paper's BNF:
+//!
+//! ```text
+//! <sequence>          ::= <sequence header> <group of pictures>
+//!                         { [<sequence header>] <group of pictures> }
+//!                         <sequence end code>
+//! <group of pictures> ::= <group header> <picture> { <picture> }
+//! <picture>           ::= <picture header> <slice> { <slice> }
+//! <slice>             ::= <slice header> <macroblock> { <macroblock> }
+//! ```
+//!
+//! Headers begin with unique byte-aligned 32-bit start codes; the slice is
+//! the smallest resynchronization unit after errors. This module provides
+//! a bit-exact writer and a resynchronizing parser for that structure,
+//! with the macroblock layer abstracted as sized opaque payload.
+
+pub mod bits;
+pub mod corrupt;
+pub mod headers;
+pub mod parser;
+pub mod start_code;
+pub mod writer;
+
+pub use bits::{BitReader, BitWriter, OutOfBits};
+pub use corrupt::{apply_ber, flip_bit, flip_random_bits, zero_bytes};
+pub use headers::{
+    GroupHeader, HeaderError, PictureHeader, PictureRate, SequenceHeader, SliceHeader, TimeCode,
+    BIT_RATE_VBR,
+};
+pub use parser::{
+    parse_stream, parse_strict, IssueKind, ParseIssue, ParsedPicture, ParsedSlice, ParsedStream,
+};
+pub use start_code::{find_start_code, scan_start_codes, StartCode};
+pub use writer::{min_picture_bits, write_stream, QuantizerSet, StreamSpec, WrittenStream};

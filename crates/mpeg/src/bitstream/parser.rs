@@ -1,0 +1,499 @@
+//! Resynchronizing MPEG-1 stream parser.
+//!
+//! The parser mirrors what the paper's §2 says a decoder does with a
+//! damaged stream: "whenever errors are detected, the decoder can skip
+//! ahead to the next slice start code — or picture start code — and resume
+//! decoding from there. One or more slices would be missing from the
+//! picture being decoded." Parsing therefore never aborts: structural
+//! damage is recorded as [`ParseIssue`]s and skipped.
+
+use super::bits::BitReader;
+use super::headers::{GroupHeader, HeaderError, PictureHeader, SequenceHeader, SliceHeader};
+use super::start_code::{find_start_code, StartCode};
+use std::fmt;
+use std::ops::Range;
+
+/// A recoverable problem found while parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIssue {
+    /// Byte offset at which the problem was detected.
+    pub at_byte: usize,
+    /// What went wrong.
+    pub kind: IssueKind,
+}
+
+/// Classification of parse problems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IssueKind {
+    /// A header failed to decode; the parser resynchronized to the next
+    /// start code.
+    BadHeader {
+        /// Which header type was being decoded.
+        context: &'static str,
+        /// The underlying decode error.
+        error: HeaderError,
+    },
+    /// A start code appeared somewhere it is not allowed (e.g. a slice
+    /// before any picture header).
+    UnexpectedCode {
+        /// The code found.
+        code: u8,
+    },
+    /// Stream did not begin with a sequence header.
+    MissingSequenceHeader,
+    /// Stream ended without a sequence end code.
+    MissingSequenceEnd,
+    /// Slice vertical positions regressed or repeated within a picture,
+    /// indicating lost slices or corruption.
+    SliceOrder {
+        /// Previous slice position.
+        previous: u8,
+        /// Offending position.
+        found: u8,
+    },
+    /// An explicit `sequence_error_code` was present in the stream.
+    SequenceErrorCode,
+}
+
+impl fmt::Display for ParseIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at byte {}: ", self.at_byte)?;
+        match &self.kind {
+            IssueKind::BadHeader { context, error } => write!(f, "bad {context} header: {error}"),
+            IssueKind::UnexpectedCode { code } => write!(f, "unexpected start code {code:#04x}"),
+            IssueKind::MissingSequenceHeader => {
+                write!(f, "stream does not begin with a sequence header")
+            }
+            IssueKind::MissingSequenceEnd => write!(f, "stream has no sequence end code"),
+            IssueKind::SliceOrder { previous, found } => {
+                write!(f, "slice position {found} after {previous}")
+            }
+            IssueKind::SequenceErrorCode => write!(f, "sequence error code present"),
+        }
+    }
+}
+
+impl std::error::Error for ParseIssue {}
+
+/// A decoded slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedSlice {
+    /// The slice header.
+    pub header: SliceHeader,
+    /// Opaque macroblock payload length in bytes.
+    pub payload_len: usize,
+}
+
+/// A decoded picture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedPicture {
+    /// The picture header.
+    pub header: PictureHeader,
+    /// Slices, in stream order.
+    pub slices: Vec<ParsedSlice>,
+    /// Byte range of the picture (start code through last slice payload).
+    pub byte_range: Range<usize>,
+}
+
+impl ParsedPicture {
+    /// Coded size of this picture in bits.
+    pub fn size_bits(&self) -> u64 {
+        (self.byte_range.len() as u64) * 8
+    }
+}
+
+/// Result of parsing a stream.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedStream {
+    /// All sequence headers encountered (first is mandatory; repeats are
+    /// the optional random-access copies).
+    pub sequence_headers: Vec<SequenceHeader>,
+    /// Group headers, in order.
+    pub groups: Vec<GroupHeader>,
+    /// Pictures, in coded (transmission) order.
+    pub pictures: Vec<ParsedPicture>,
+    /// Recoverable problems, in order of detection. Empty for a clean
+    /// stream.
+    pub issues: Vec<ParseIssue>,
+    /// Whether a sequence end code was seen.
+    pub end_seen: bool,
+}
+
+impl ParsedStream {
+    /// `true` if no issues were recorded.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    /// Picture sizes in coded order, in bits.
+    pub fn picture_sizes(&self) -> Vec<u64> {
+        self.pictures.iter().map(|p| p.size_bits()).collect()
+    }
+
+    /// Reconstructs display order from `temporal_reference`, valid for
+    /// sequences shorter than 1024 pictures (this writer stamps the
+    /// display index modulo 1024).
+    pub fn display_order_sizes(&self) -> Vec<u64> {
+        let mut pairs: Vec<(u16, u64)> = self
+            .pictures
+            .iter()
+            .map(|p| (p.header.temporal_reference, p.size_bits()))
+            .collect();
+        pairs.sort_by_key(|&(tr, _)| tr);
+        pairs.into_iter().map(|(_, s)| s).collect()
+    }
+}
+
+/// Parses a stream, resynchronizing past any damage.
+pub fn parse_stream(data: &[u8]) -> ParsedStream {
+    let mut out = ParsedStream::default();
+    let mut pos = 0usize;
+    let mut first = true;
+    // The picture currently being assembled, with its start offset.
+    let mut current: Option<(ParsedPicture, usize)> = None;
+
+    // Extends the currently assembled picture (if any) to end at `end`,
+    // fixing up the payload length of its last slice.
+    fn close_picture(
+        out: &mut ParsedStream,
+        current: &mut Option<(ParsedPicture, usize)>,
+        end: usize,
+    ) {
+        if let Some((mut pic, start)) = current.take() {
+            pic.byte_range = start..end;
+            out.pictures.push(pic);
+        }
+    }
+
+    while let Some((at, code)) = find_start_code(data, pos) {
+        if first {
+            if code != StartCode::SequenceHeader || at != 0 {
+                out.issues.push(ParseIssue {
+                    at_byte: at,
+                    kind: IssueKind::MissingSequenceHeader,
+                });
+            }
+            first = false;
+        }
+        let body_start = at + 4;
+        pos = body_start;
+        match code {
+            StartCode::SequenceHeader => {
+                close_picture(&mut out, &mut current, at);
+                let mut r = BitReader::at_byte(data, body_start);
+                match SequenceHeader::decode(&mut r) {
+                    Ok(h) => {
+                        out.sequence_headers.push(h);
+                        pos = r.byte_pos();
+                    }
+                    Err(error) => out.issues.push(ParseIssue {
+                        at_byte: at,
+                        kind: IssueKind::BadHeader {
+                            context: "sequence",
+                            error,
+                        },
+                    }),
+                }
+            }
+            StartCode::Group => {
+                close_picture(&mut out, &mut current, at);
+                let mut r = BitReader::at_byte(data, body_start);
+                match GroupHeader::decode(&mut r) {
+                    Ok(h) => {
+                        out.groups.push(h);
+                        pos = r.byte_pos();
+                    }
+                    Err(error) => out.issues.push(ParseIssue {
+                        at_byte: at,
+                        kind: IssueKind::BadHeader {
+                            context: "group",
+                            error,
+                        },
+                    }),
+                }
+            }
+            StartCode::Picture => {
+                close_picture(&mut out, &mut current, at);
+                let mut r = BitReader::at_byte(data, body_start);
+                match PictureHeader::decode(&mut r) {
+                    Ok(header) => {
+                        current = Some((
+                            ParsedPicture {
+                                header,
+                                slices: Vec::new(),
+                                byte_range: at..at,
+                            },
+                            at,
+                        ));
+                        pos = r.byte_pos();
+                    }
+                    Err(error) => out.issues.push(ParseIssue {
+                        at_byte: at,
+                        kind: IssueKind::BadHeader {
+                            context: "picture",
+                            error,
+                        },
+                    }),
+                }
+            }
+            StartCode::Slice(vpos) => match &mut current {
+                Some((pic, _)) => {
+                    let mut r = BitReader::at_byte(data, body_start);
+                    match SliceHeader::decode(vpos, &mut r) {
+                        Ok(header) => {
+                            if let Some(last) = pic.slices.last() {
+                                if header.vertical_position <= last.header.vertical_position {
+                                    out.issues.push(ParseIssue {
+                                        at_byte: at,
+                                        kind: IssueKind::SliceOrder {
+                                            previous: last.header.vertical_position,
+                                            found: header.vertical_position,
+                                        },
+                                    });
+                                }
+                            }
+                            let payload_start = r.byte_pos();
+                            let payload_end = find_start_code(data, payload_start)
+                                .map(|(next, _)| next)
+                                .unwrap_or(data.len());
+                            pic.slices.push(ParsedSlice {
+                                header,
+                                payload_len: payload_end - payload_start,
+                            });
+                            pos = payload_end;
+                        }
+                        Err(error) => out.issues.push(ParseIssue {
+                            at_byte: at,
+                            kind: IssueKind::BadHeader {
+                                context: "slice",
+                                error,
+                            },
+                        }),
+                    }
+                }
+                None => {
+                    out.issues.push(ParseIssue {
+                        at_byte: at,
+                        kind: IssueKind::UnexpectedCode { code: vpos },
+                    });
+                }
+            },
+            StartCode::SequenceEnd => {
+                close_picture(&mut out, &mut current, at);
+                out.end_seen = true;
+            }
+            StartCode::SequenceError => {
+                out.issues.push(ParseIssue {
+                    at_byte: at,
+                    kind: IssueKind::SequenceErrorCode,
+                });
+            }
+            StartCode::UserData | StartCode::Extension => {
+                // Skipped: scan to the next start code.
+            }
+            StartCode::Other(c) => {
+                out.issues.push(ParseIssue {
+                    at_byte: at,
+                    kind: IssueKind::UnexpectedCode { code: c },
+                });
+            }
+        }
+    }
+    close_picture(&mut out, &mut current, data.len());
+    if !out.end_seen {
+        out.issues.push(ParseIssue {
+            at_byte: data.len(),
+            kind: IssueKind::MissingSequenceEnd,
+        });
+    }
+    out
+}
+
+/// Parses a stream, failing on the first structural issue.
+pub fn parse_strict(data: &[u8]) -> Result<ParsedStream, ParseIssue> {
+    let parsed = parse_stream(data);
+    match parsed.issues.first() {
+        Some(issue) => Err(issue.clone()),
+        None => Ok(parsed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitstream::writer::{write_stream, StreamSpec};
+    use crate::gop::GopPattern;
+    use crate::picture::{PictureType, Resolution};
+    use crate::SequenceHeader as SeqH;
+
+    fn sample_stream(
+        n_pictures: usize,
+    ) -> (
+        StreamSpec,
+        Vec<u64>,
+        crate::bitstream::writer::WrittenStream,
+    ) {
+        let spec = StreamSpec::new(SeqH::vbr(Resolution::VGA), GopPattern::new(3, 9).unwrap());
+        let sizes: Vec<u64> = (0..n_pictures)
+            .map(|i| match spec.pattern.type_at(i) {
+                PictureType::I => 200_000,
+                PictureType::P => 100_000,
+                PictureType::B => 20_000,
+            })
+            .collect();
+        let written = write_stream(&spec, &sizes, 11);
+        (spec, sizes, written)
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        let (_, sizes, written) = sample_stream(18);
+        let parsed = parse_strict(&written.bytes).unwrap();
+        assert!(parsed.is_clean());
+        assert!(parsed.end_seen);
+        assert_eq!(parsed.pictures.len(), 18);
+        assert_eq!(parsed.sequence_headers.len(), 1);
+        assert_eq!(parsed.groups.len(), 2);
+        // Sizes in display order match targets to byte granularity.
+        let display = parsed.display_order_sizes();
+        for (want, have) in sizes.iter().zip(&display) {
+            assert_eq!(*have, (want / 8) * 8);
+        }
+    }
+
+    #[test]
+    fn parsed_types_follow_pattern_in_coded_order() {
+        let (spec, _, written) = sample_stream(9);
+        let parsed = parse_strict(&written.bytes).unwrap();
+        for (pic, &display_idx) in parsed.pictures.iter().zip(&written.coded_order) {
+            assert_eq!(pic.header.picture_type, spec.pattern.type_at(display_idx));
+            assert_eq!(pic.header.temporal_reference as usize, display_idx);
+        }
+    }
+
+    #[test]
+    fn slice_count_matches_mb_rows() {
+        let (_, _, written) = sample_stream(9);
+        let parsed = parse_strict(&written.bytes).unwrap();
+        for pic in &parsed.pictures {
+            assert_eq!(pic.slices.len(), 30, "VGA has 30 macroblock rows");
+            // Vertical positions are 1..=30 in order.
+            for (i, s) in pic.slices.iter().enumerate() {
+                assert_eq!(s.header.vertical_position as usize, i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_slice_header_drops_only_that_slice() {
+        let (_, _, written) = sample_stream(9);
+        let mut bytes = written.bytes.clone();
+        // Find the 5th slice start code and zero its quantizer bits
+        // (quantizer_scale = 0 is invalid).
+        let mut slice_seen = 0;
+        let mut target = None;
+        for (at, code) in crate::bitstream::start_code::scan_start_codes(&bytes) {
+            if matches!(code, StartCode::Slice(_)) {
+                slice_seen += 1;
+                if slice_seen == 5 {
+                    target = Some(at);
+                    break;
+                }
+            }
+        }
+        let at = target.unwrap();
+        bytes[at + 4] = 0x00; // quantizer_scale 0 + extra bit 0
+        let parsed = parse_stream(&bytes);
+        assert_eq!(parsed.issues.len(), 1);
+        assert!(matches!(
+            parsed.issues[0].kind,
+            IssueKind::BadHeader {
+                context: "slice",
+                ..
+            }
+        ));
+        // All pictures still present; the damaged picture has 29 slices.
+        assert_eq!(parsed.pictures.len(), 9);
+        let short: Vec<_> = parsed
+            .pictures
+            .iter()
+            .filter(|p| p.slices.len() == 29)
+            .collect();
+        assert_eq!(short.len(), 1, "exactly one picture lost exactly one slice");
+    }
+
+    #[test]
+    fn corrupted_picture_header_drops_picture_but_resyncs() {
+        let (_, _, written) = sample_stream(9);
+        let mut bytes = written.bytes.clone();
+        // Second picture's header: force coding type 0.
+        let second_range = &written.picture_ranges[1];
+        let at = second_range.start;
+        // Body starts after the 4-byte start code: temporal(10) type(3)...
+        // Zero bytes 4..6 of the picture: temporal_reference 0, type 0.
+        bytes[at + 4] = 0;
+        bytes[at + 5] = 0;
+        let parsed = parse_stream(&bytes);
+        assert!(parsed.issues.iter().any(|i| matches!(
+            i.kind,
+            IssueKind::BadHeader {
+                context: "picture",
+                ..
+            }
+        )));
+        // Picture lost, but the remaining 8 parse fine. Its slices are
+        // orphaned (UnexpectedCode is NOT raised because resync skips to
+        // slices which get attached to... no current picture -> issues).
+        assert_eq!(parsed.pictures.len(), 8);
+        assert!(parsed
+            .issues
+            .iter()
+            .any(|i| matches!(i.kind, IssueKind::UnexpectedCode { .. })));
+    }
+
+    #[test]
+    fn truncated_stream_reports_missing_end() {
+        let (_, _, written) = sample_stream(9);
+        let cut = written.bytes.len() / 2;
+        let parsed = parse_stream(&written.bytes[..cut]);
+        assert!(!parsed.end_seen);
+        assert!(parsed
+            .issues
+            .iter()
+            .any(|i| i.kind == IssueKind::MissingSequenceEnd));
+        assert!(
+            !parsed.pictures.is_empty(),
+            "prefix pictures still recovered"
+        );
+    }
+
+    #[test]
+    fn stream_not_starting_with_sequence_header_is_flagged() {
+        let (_, _, written) = sample_stream(9);
+        // Chop off the 12-byte sequence header (start code + 8-byte body).
+        let parsed = parse_stream(&written.bytes[12..]);
+        assert!(parsed
+            .issues
+            .iter()
+            .any(|i| i.kind == IssueKind::MissingSequenceHeader));
+        assert_eq!(parsed.pictures.len(), 9, "pictures are still decodable");
+    }
+
+    #[test]
+    fn garbage_input_yields_no_pictures() {
+        let garbage = vec![0xABu8; 1024];
+        let parsed = parse_stream(&garbage);
+        assert!(parsed.pictures.is_empty());
+        assert!(!parsed.end_seen);
+    }
+
+    #[test]
+    fn strict_mode_fails_on_damage() {
+        let (_, _, written) = sample_stream(9);
+        let mut bytes = written.bytes.clone();
+        let at = written.picture_ranges[0].start;
+        bytes[at + 4] = 0;
+        bytes[at + 5] = 0;
+        assert!(parse_strict(&bytes).is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! MPEG-1 start codes.
+//!
+//! Every header (sequence, group, picture, slice) begins with a unique
+//! 32-bit start code of the form `00 00 01 XX`; uniqueness in the coded
+//! stream is what lets a decoder resynchronize after errors (paper §2).
+
+/// The three-byte start-code prefix `00 00 01`.
+pub const PREFIX: [u8; 3] = [0x00, 0x00, 0x01];
+
+/// Start-code suffix values (the `XX` byte), per ISO/IEC 11172-2.
+pub mod codes {
+    /// `picture_start_code` — begins a picture header.
+    pub const PICTURE: u8 = 0x00;
+    /// First slice start code (`slice_start_code` carries the slice's
+    /// vertical position, 1-based).
+    pub const SLICE_MIN: u8 = 0x01;
+    /// Last slice start code.
+    pub const SLICE_MAX: u8 = 0xAF;
+    /// `user_data_start_code`.
+    pub const USER_DATA: u8 = 0xB2;
+    /// `sequence_header_code`.
+    pub const SEQUENCE_HEADER: u8 = 0xB3;
+    /// `sequence_error_code` (inserted by media layers to flag damage).
+    pub const SEQUENCE_ERROR: u8 = 0xB4;
+    /// `extension_start_code`.
+    pub const EXTENSION: u8 = 0xB5;
+    /// `sequence_end_code`.
+    pub const SEQUENCE_END: u8 = 0xB7;
+    /// `group_start_code` — begins a group-of-pictures header.
+    pub const GROUP: u8 = 0xB8;
+}
+
+/// A classified start code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StartCode {
+    /// Picture header start.
+    Picture,
+    /// Slice start; payload is the slice's 1-based vertical position
+    /// (`0x01..=0xAF`).
+    Slice(u8),
+    /// User data section.
+    UserData,
+    /// Sequence header.
+    SequenceHeader,
+    /// Sequence error code.
+    SequenceError,
+    /// Extension data.
+    Extension,
+    /// End of sequence.
+    SequenceEnd,
+    /// Group-of-pictures header.
+    Group,
+    /// Reserved / system-layer code not modeled here.
+    Other(u8),
+}
+
+impl StartCode {
+    /// Classifies a suffix byte.
+    pub fn from_suffix(suffix: u8) -> StartCode {
+        match suffix {
+            codes::PICTURE => StartCode::Picture,
+            s @ codes::SLICE_MIN..=codes::SLICE_MAX => StartCode::Slice(s),
+            codes::USER_DATA => StartCode::UserData,
+            codes::SEQUENCE_HEADER => StartCode::SequenceHeader,
+            codes::SEQUENCE_ERROR => StartCode::SequenceError,
+            codes::EXTENSION => StartCode::Extension,
+            codes::SEQUENCE_END => StartCode::SequenceEnd,
+            codes::GROUP => StartCode::Group,
+            other => StartCode::Other(other),
+        }
+    }
+
+    /// The suffix byte for this code.
+    pub fn suffix(self) -> u8 {
+        match self {
+            StartCode::Picture => codes::PICTURE,
+            StartCode::Slice(s) => s,
+            StartCode::UserData => codes::USER_DATA,
+            StartCode::SequenceHeader => codes::SEQUENCE_HEADER,
+            StartCode::SequenceError => codes::SEQUENCE_ERROR,
+            StartCode::Extension => codes::EXTENSION,
+            StartCode::SequenceEnd => codes::SEQUENCE_END,
+            StartCode::Group => codes::GROUP,
+            StartCode::Other(s) => s,
+        }
+    }
+
+    /// The full 4-byte start code.
+    pub fn to_bytes(self) -> [u8; 4] {
+        [0x00, 0x00, 0x01, self.suffix()]
+    }
+}
+
+/// Finds the next start code at or after `from`, returning
+/// `(byte_offset_of_prefix, code)`.
+///
+/// Scanning is byte-aligned, exactly like a real decoder hunting for a
+/// resynchronization point.
+pub fn find_start_code(data: &[u8], from: usize) -> Option<(usize, StartCode)> {
+    if data.len() < 4 {
+        return None;
+    }
+    let mut i = from;
+    while i + 4 <= data.len() {
+        if data[i] == 0x00 && data[i + 1] == 0x00 && data[i + 2] == 0x01 {
+            return Some((i, StartCode::from_suffix(data[i + 3])));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Iterates over all start codes in `data`, in order.
+pub fn scan_start_codes(data: &[u8]) -> impl Iterator<Item = (usize, StartCode)> + '_ {
+    let mut pos = 0usize;
+    std::iter::from_fn(move || {
+        let (at, code) = find_start_code(data, pos)?;
+        pos = at + 4;
+        Some((at, code))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_roundtrip() {
+        for suffix in 0..=0xFFu8 {
+            let code = StartCode::from_suffix(suffix);
+            assert_eq!(code.suffix(), suffix);
+            assert_eq!(code.to_bytes(), [0, 0, 1, suffix]);
+        }
+    }
+
+    #[test]
+    fn slice_range_classification() {
+        assert_eq!(StartCode::from_suffix(0x01), StartCode::Slice(0x01));
+        assert_eq!(StartCode::from_suffix(0xAF), StartCode::Slice(0xAF));
+        assert_eq!(StartCode::from_suffix(0xB0), StartCode::Other(0xB0));
+        assert_eq!(StartCode::from_suffix(0x00), StartCode::Picture);
+    }
+
+    #[test]
+    fn find_simple() {
+        let data = [0xFF, 0x00, 0x00, 0x01, 0xB3, 0x42];
+        assert_eq!(
+            find_start_code(&data, 0),
+            Some((1, StartCode::SequenceHeader))
+        );
+        // Starting past it finds nothing.
+        assert_eq!(find_start_code(&data, 2), None);
+    }
+
+    #[test]
+    fn find_at_exact_offset() {
+        let data = [0x00, 0x00, 0x01, 0x00];
+        assert_eq!(find_start_code(&data, 0), Some((0, StartCode::Picture)));
+    }
+
+    #[test]
+    fn overlapping_zero_runs() {
+        // 00 00 00 01 XX: prefix begins at index 1.
+        let data = [0x00, 0x00, 0x00, 0x01, 0xB8];
+        assert_eq!(find_start_code(&data, 0), Some((1, StartCode::Group)));
+    }
+
+    #[test]
+    fn scan_finds_all_in_order() {
+        let mut data = Vec::new();
+        data.extend_from_slice(&StartCode::SequenceHeader.to_bytes());
+        data.extend_from_slice(&[0xAA; 7]);
+        data.extend_from_slice(&StartCode::Group.to_bytes());
+        data.extend_from_slice(&StartCode::Picture.to_bytes());
+        data.extend_from_slice(&[0x55; 3]);
+        data.extend_from_slice(&StartCode::Slice(1).to_bytes());
+        data.extend_from_slice(&StartCode::SequenceEnd.to_bytes());
+
+        let found: Vec<_> = scan_start_codes(&data).map(|(_, c)| c).collect();
+        assert_eq!(
+            found,
+            vec![
+                StartCode::SequenceHeader,
+                StartCode::Group,
+                StartCode::Picture,
+                StartCode::Slice(1),
+                StartCode::SequenceEnd,
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(find_start_code(&[], 0), None);
+        assert_eq!(find_start_code(&[0, 0, 1], 0), None);
+        assert_eq!(scan_start_codes(&[0u8; 2]).count(), 0);
+    }
+}

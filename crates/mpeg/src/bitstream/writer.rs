@@ -1,0 +1,342 @@
+//! Whole-stream writer: builds a structurally valid MPEG-1 video bit
+//! stream from per-picture size targets.
+//!
+//! The macroblock layer is modeled as opaque payload bytes (pseudo-random,
+//! guaranteed free of start-code emulation) sized so each picture occupies
+//! its target bit count. Everything above the macroblock layer — sequence,
+//! group, picture, and slice headers, start codes, transmission-order
+//! picture reordering — is real, which is exactly the level of structure
+//! the paper's transport-protocol perspective cares about (§2).
+
+use super::headers::{GroupHeader, PictureHeader, SequenceHeader, SliceHeader, TimeCode};
+use super::start_code::StartCode;
+use crate::bitstream::bits::BitWriter;
+use crate::gop::GopPattern;
+use crate::picture::PictureType;
+use crate::reorder::transmission_order;
+use smooth_rng::Rng;
+use std::ops::Range;
+
+/// Quantizer scales per picture type.
+///
+/// The paper's sequences were encoded with 4 (I), 6 (P), 15 (B) (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantizerSet {
+    /// Quantizer scale for I pictures.
+    pub i: u8,
+    /// Quantizer scale for P pictures.
+    pub p: u8,
+    /// Quantizer scale for B pictures.
+    pub b: u8,
+}
+
+impl QuantizerSet {
+    /// The paper's encoding configuration: 4 / 6 / 15 (§5.2).
+    pub const PAPER: QuantizerSet = QuantizerSet { i: 4, p: 6, b: 15 };
+
+    /// Scale for the given picture type.
+    pub fn for_type(&self, t: PictureType) -> u8 {
+        match t {
+            PictureType::I => self.i,
+            PictureType::P => self.p,
+            PictureType::B => self.b,
+        }
+    }
+}
+
+/// Configuration for [`write_stream`].
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    /// Sequence header to emit (resolution, picture rate, VBR flag).
+    pub sequence: SequenceHeader,
+    /// Repeating picture-type pattern.
+    pub pattern: GopPattern,
+    /// Quantizer scales written into slice headers.
+    pub quantizers: QuantizerSet,
+    /// Repeat the sequence header before every group (optional in MPEG;
+    /// enables random access, paper §2).
+    pub repeat_sequence_header: bool,
+}
+
+impl StreamSpec {
+    /// Spec with the paper's quantizers, no sequence-header repetition.
+    pub fn new(sequence: SequenceHeader, pattern: GopPattern) -> Self {
+        StreamSpec {
+            sequence,
+            pattern,
+            quantizers: QuantizerSet::PAPER,
+            repeat_sequence_header: false,
+        }
+    }
+}
+
+/// A written stream plus the bookkeeping needed to check it.
+#[derive(Debug, Clone)]
+pub struct WrittenStream {
+    /// The coded bytes.
+    pub bytes: Vec<u8>,
+    /// For each coded (transmission-order) position, the display index of
+    /// the picture written there.
+    pub coded_order: Vec<usize>,
+    /// Byte range of each picture, indexed by coded position. A picture's
+    /// range runs from its picture start code to the end of its last
+    /// slice.
+    pub picture_ranges: Vec<Range<usize>>,
+}
+
+impl WrittenStream {
+    /// Actual size of the picture at coded position `p`, in bits.
+    pub fn picture_bits(&self, p: usize) -> u64 {
+        (self.picture_ranges[p].len() as u64) * 8
+    }
+
+    /// Actual sizes in **display order**, in bits.
+    pub fn display_order_bits(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.coded_order.len()];
+        for (p, &d) in self.coded_order.iter().enumerate() {
+            out[d] = self.picture_bits(p);
+        }
+        out
+    }
+}
+
+/// Fixed per-picture overhead in bytes, given its type and slice count:
+/// picture start code + picture header + per-slice (start code + header).
+fn picture_overhead_bytes(t: PictureType, slices: usize) -> usize {
+    let header_body = match t {
+        PictureType::I => 4, // 30 bits -> 4 bytes aligned
+        PictureType::P => 5, // 34 bits -> 5 bytes
+        PictureType::B => 5, // 38 bits -> 5 bytes
+    };
+    4 + header_body + slices * 5
+}
+
+/// Minimum size of a picture of type `t` with `slices` slices, in bits.
+pub fn min_picture_bits(t: PictureType, slices: usize) -> u64 {
+    (picture_overhead_bytes(t, slices) as u64) * 8
+}
+
+/// Fills `out` with `len` pseudo-random payload bytes that can never form
+/// (or extend) a `00 00 01` start-code prefix: `0x00` never occurs.
+fn push_payload(out: &mut Vec<u8>, len: usize, rng: &mut Rng) {
+    out.reserve(len);
+    for _ in 0..len {
+        let b = (rng.next_u64() & 0xFF) as u8;
+        out.push(if b == 0 { 0x80 } else { b });
+    }
+}
+
+/// Writes a complete stream.
+///
+/// `display_sizes[i]` is the target size, in bits, of the picture at
+/// display index `i`. Targets below the structural minimum are clamped up
+/// (headers cannot be elided); byte granularity rounds every size down to
+/// a multiple of 8 bits.
+///
+/// Pictures are emitted in transmission order; a group header precedes
+/// every I picture (groups = GOPs).
+pub fn write_stream(spec: &StreamSpec, display_sizes: &[u64], seed: u64) -> WrittenStream {
+    let mut rng = Rng::seed_from_u64(seed);
+    let order = transmission_order(&spec.pattern, display_sizes.len());
+    let fps = spec.sequence.picture_rate.fps();
+    let slices = usize::from(spec.sequence.resolution.mb_rows()).min(0xAF);
+
+    let mut bytes = Vec::new();
+    let mut coded_order = Vec::with_capacity(order.len());
+    let mut picture_ranges = Vec::with_capacity(order.len());
+
+    // Leading sequence header (the only mandatory one, paper §2).
+    emit_sequence_header(&mut bytes, &spec.sequence);
+
+    for &display_idx in &order {
+        let t = spec.pattern.type_at(display_idx);
+        if t == PictureType::I {
+            if spec.repeat_sequence_header && !picture_ranges.is_empty() {
+                emit_sequence_header(&mut bytes, &spec.sequence);
+            }
+            let gh = GroupHeader {
+                time_code: TimeCode::from_picture_index(display_idx, fps),
+                // The first group of a sequence that starts on an I is
+                // closed; later groups have leading B pictures that
+                // reference the previous group.
+                closed_gop: display_idx == 0,
+                broken_link: false,
+            };
+            bytes.extend_from_slice(&StartCode::Group.to_bytes());
+            let mut w = BitWriter::new();
+            gh.encode(&mut w);
+            bytes.extend_from_slice(&w.into_bytes());
+        }
+
+        let start = bytes.len();
+        let ph = PictureHeader::new((display_idx % 1024) as u16, t);
+        bytes.extend_from_slice(&StartCode::Picture.to_bytes());
+        let mut w = BitWriter::new();
+        ph.encode(&mut w);
+        bytes.extend_from_slice(&w.into_bytes());
+
+        // Distribute the remaining byte budget across slices.
+        let target_bytes = (display_sizes[display_idx] / 8) as usize;
+        let overhead = picture_overhead_bytes(t, slices);
+        let payload_total = target_bytes.saturating_sub(overhead);
+        let per_slice = payload_total / slices;
+        let mut leftover = payload_total % slices;
+
+        let q = spec.quantizers.for_type(t);
+        for row in 0..slices {
+            let sh = SliceHeader::new((row + 1) as u8, q);
+            bytes.extend_from_slice(&StartCode::Slice(sh.vertical_position).to_bytes());
+            let mut w = BitWriter::new();
+            sh.encode(&mut w);
+            bytes.extend_from_slice(&w.into_bytes());
+            let extra = usize::from(leftover > 0);
+            leftover = leftover.saturating_sub(1);
+            push_payload(&mut bytes, per_slice + extra, &mut rng);
+        }
+
+        coded_order.push(display_idx);
+        picture_ranges.push(start..bytes.len());
+    }
+
+    bytes.extend_from_slice(&StartCode::SequenceEnd.to_bytes());
+    WrittenStream {
+        bytes,
+        coded_order,
+        picture_ranges,
+    }
+}
+
+fn emit_sequence_header(bytes: &mut Vec<u8>, h: &SequenceHeader) {
+    bytes.extend_from_slice(&StartCode::SequenceHeader.to_bytes());
+    let mut w = BitWriter::new();
+    h.encode(&mut w);
+    bytes.extend_from_slice(&w.into_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitstream::start_code::{scan_start_codes, StartCode};
+    use crate::picture::Resolution;
+
+    fn spec_vga() -> StreamSpec {
+        StreamSpec::new(
+            SequenceHeader::vbr(Resolution::VGA),
+            GopPattern::new(3, 9).unwrap(),
+        )
+    }
+
+    #[test]
+    fn stream_begins_with_sequence_header_and_ends_with_end_code() {
+        let sizes = vec![50_000u64; 9];
+        let s = write_stream(&spec_vga(), &sizes, 1);
+        assert_eq!(&s.bytes[..4], &StartCode::SequenceHeader.to_bytes());
+        assert_eq!(
+            &s.bytes[s.bytes.len() - 4..],
+            &StartCode::SequenceEnd.to_bytes()
+        );
+    }
+
+    #[test]
+    fn picture_sizes_hit_targets_to_byte_granularity() {
+        let sizes: Vec<u64> = vec![
+            200_000, 20_000, 20_008, 100_000, 20_000, 24_000, 96_000, 16_000, 16_000,
+        ];
+        let s = write_stream(&spec_vga(), &sizes, 2);
+        let got = s.display_order_bits();
+        for (i, (&want, &have)) in sizes.iter().zip(&got).enumerate() {
+            // Byte granularity: within 8 bits, and never over by >= 8.
+            assert_eq!(have, (want / 8) * 8, "picture {i}");
+        }
+    }
+
+    #[test]
+    fn tiny_targets_clamp_to_structural_minimum() {
+        let sizes = vec![8u64; 9]; // absurdly small: 1 byte
+        let s = write_stream(&spec_vga(), &sizes, 3);
+        let slices = Resolution::VGA.mb_rows() as usize;
+        for p in 0..9 {
+            let t = GopPattern::new(3, 9).unwrap().type_at(s.coded_order[p]);
+            assert_eq!(s.picture_bits(p), min_picture_bits(t, slices));
+        }
+    }
+
+    #[test]
+    fn pictures_are_in_transmission_order() {
+        let sizes = vec![30_000u64; 13];
+        let s = write_stream(&spec_vga(), &sizes, 4);
+        let pat = GopPattern::new(3, 9).unwrap();
+        assert_eq!(s.coded_order, transmission_order(&pat, 13));
+    }
+
+    #[test]
+    fn group_header_before_every_i_picture() {
+        let sizes = vec![30_000u64; 18];
+        let s = write_stream(&spec_vga(), &sizes, 5);
+        let codes: Vec<StartCode> = scan_start_codes(&s.bytes).map(|(_, c)| c).collect();
+        let groups = codes
+            .iter()
+            .filter(|c| matches!(c, StartCode::Group))
+            .count();
+        assert_eq!(groups, 2, "18 pictures at N=9 is two GOPs");
+        // Every Group code is immediately followed (in code order) by a
+        // Picture code.
+        for w in codes.windows(2) {
+            if w[0] == StartCode::Group {
+                assert_eq!(w[1], StartCode::Picture);
+            }
+        }
+    }
+
+    #[test]
+    fn payload_never_emulates_start_codes() {
+        let sizes = vec![120_000u64; 9];
+        let s = write_stream(&spec_vga(), &sizes, 6);
+        // Every start code found must be one we intentionally wrote:
+        // count picture + slice + group + seq + end codes.
+        let slices = Resolution::VGA.mb_rows() as usize;
+        let expected = 1 /* seq */ + 1 /* group */ + 9 * (1 + slices) + 1 /* end */;
+        assert_eq!(scan_start_codes(&s.bytes).count(), expected);
+    }
+
+    #[test]
+    fn repeat_sequence_header_mode() {
+        let mut spec = spec_vga();
+        spec.repeat_sequence_header = true;
+        let sizes = vec![30_000u64; 27];
+        let s = write_stream(&spec, &sizes, 7);
+        let seq_headers = scan_start_codes(&s.bytes)
+            .filter(|(_, c)| *c == StartCode::SequenceHeader)
+            .count();
+        assert_eq!(seq_headers, 3, "leading + one per subsequent GOP");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sizes = vec![77_000u64; 9];
+        let a = write_stream(&spec_vga(), &sizes, 42);
+        let b = write_stream(&spec_vga(), &sizes, 42);
+        assert_eq!(a.bytes, b.bytes);
+        let c = write_stream(&spec_vga(), &sizes, 43);
+        assert_ne!(a.bytes, c.bytes, "different seed, different payload");
+    }
+
+    #[test]
+    fn empty_sequence_is_just_headers() {
+        let s = write_stream(&spec_vga(), &[], 0);
+        assert_eq!(s.coded_order.len(), 0);
+        let codes: Vec<_> = scan_start_codes(&s.bytes).map(|(_, c)| c).collect();
+        assert_eq!(
+            codes,
+            vec![StartCode::SequenceHeader, StartCode::SequenceEnd]
+        );
+    }
+
+    #[test]
+    fn quantizers_for_type() {
+        let q = QuantizerSet::PAPER;
+        assert_eq!(q.for_type(PictureType::I), 4);
+        assert_eq!(q.for_type(PictureType::P), 6);
+        assert_eq!(q.for_type(PictureType::B), 15);
+    }
+}

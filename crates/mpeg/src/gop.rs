@@ -1,0 +1,369 @@
+//! GOP (group of pictures) pattern algebra.
+//!
+//! An MPEG video sequence repeats a fixed pattern of picture types,
+//! specified by two parameters (paper §1):
+//!
+//! * `M` — distance between consecutive reference pictures (I or P);
+//! * `N` — distance between consecutive I pictures (the pattern length).
+//!
+//! `M = 3, N = 9` gives `IBBPBBPBB` repeating indefinitely; `M = 1, N = 5`
+//! gives `IPPPP`. The smoothing algorithm uses `N` for picture-size
+//! estimation (`S_j ≈ S_{j−N}`, since pictures `j` and `j−N` have the same
+//! type) and does not otherwise depend on `M` (paper §4.4).
+
+use crate::picture::PictureType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors constructing a [`GopPattern`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternError {
+    /// `M` must be at least 1.
+    ZeroM,
+    /// `N` must be at least 1.
+    ZeroN,
+    /// `N` must be a multiple of `M` so the pattern tiles cleanly.
+    NotDivisible {
+        /// Offending N.
+        n: usize,
+        /// Offending M.
+        m: usize,
+    },
+    /// A pattern string contained a letter other than I, P, B.
+    BadLetter {
+        /// Byte offset of the bad letter.
+        index: usize,
+        /// The letter itself.
+        letter: char,
+    },
+    /// A pattern string must begin with an I picture.
+    MustStartWithI,
+    /// A pattern string was empty.
+    Empty,
+    /// A pattern string was not of the regular `I (B^{M-1} P)^{N/M-1} B^{M-1}`
+    /// shape (irregular patterns are legal MPEG but outside this model).
+    Irregular,
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::ZeroM => write!(f, "M must be >= 1"),
+            PatternError::ZeroN => write!(f, "N must be >= 1"),
+            PatternError::NotDivisible { n, m } => {
+                write!(f, "N = {n} must be a multiple of M = {m}")
+            }
+            PatternError::BadLetter { index, letter } => {
+                write!(f, "invalid pattern letter {letter:?} at index {index}")
+            }
+            PatternError::MustStartWithI => write!(f, "pattern must start with an I picture"),
+            PatternError::Empty => write!(f, "pattern string is empty"),
+            PatternError::Irregular => write!(f, "pattern is not a regular (M, N) GOP structure"),
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+/// A regular repeating GOP pattern, parameterized by `(M, N)`.
+///
+/// Picture indices are **0-based display order** throughout this crate; the
+/// paper's pictures `1, 2, 3, …` correspond to indices `0, 1, 2, …`.
+///
+/// # Example
+///
+/// ```
+/// use smooth_mpeg::{GopPattern, PictureType};
+///
+/// let pat = GopPattern::new(3, 9).unwrap();
+/// assert_eq!(pat.to_string(), "IBBPBBPBB");
+/// assert_eq!(pat.type_at(0), PictureType::I);
+/// assert_eq!(pat.type_at(3), PictureType::P);
+/// assert_eq!(pat.type_at(10), PictureType::B); // wraps: 10 % 9 == 1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GopPattern {
+    m: usize,
+    n: usize,
+}
+
+impl GopPattern {
+    /// Creates the pattern with reference distance `m` and I-picture
+    /// distance `n`.
+    pub fn new(m: usize, n: usize) -> Result<Self, PatternError> {
+        if m == 0 {
+            return Err(PatternError::ZeroM);
+        }
+        if n == 0 {
+            return Err(PatternError::ZeroN);
+        }
+        if n % m != 0 {
+            return Err(PatternError::NotDivisible { n, m });
+        }
+        Ok(GopPattern { m, n })
+    }
+
+    /// Parses a pattern string such as `"IBBPBBPBB"`.
+    ///
+    /// The string must describe one full period of a regular `(M, N)`
+    /// pattern: an `I`, followed by groups of `M−1` `B`s before each
+    /// reference.
+    pub fn parse(s: &str) -> Result<Self, PatternError> {
+        let types: Vec<PictureType> = s
+            .chars()
+            .enumerate()
+            .map(|(index, letter)| {
+                PictureType::from_char(letter).ok_or(PatternError::BadLetter { index, letter })
+            })
+            .collect::<Result<_, _>>()?;
+        if types.is_empty() {
+            return Err(PatternError::Empty);
+        }
+        if types[0] != PictureType::I {
+            return Err(PatternError::MustStartWithI);
+        }
+        let n = types.len();
+        // M is the distance from the I to the next reference (or N if none).
+        let m = types[1..]
+            .iter()
+            .position(|t| t.is_reference())
+            .map(|p| p + 1)
+            .unwrap_or(n);
+        let candidate = GopPattern::new(m, n).map_err(|_| PatternError::Irregular)?;
+        if candidate.types() != types {
+            return Err(PatternError::Irregular);
+        }
+        Ok(candidate)
+    }
+
+    /// Distance between reference pictures (I or P).
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Distance between I pictures; the pattern period, called `N`
+    /// throughout the paper.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The picture type at 0-based display index `i` (wrapping modulo `N`).
+    pub fn type_at(&self, i: usize) -> PictureType {
+        let pos = i % self.n;
+        if pos == 0 {
+            PictureType::I
+        } else if pos % self.m == 0 {
+            PictureType::P
+        } else {
+            PictureType::B
+        }
+    }
+
+    /// One full period of picture types, in display order.
+    pub fn types(&self) -> Vec<PictureType> {
+        (0..self.n).map(|i| self.type_at(i)).collect()
+    }
+
+    /// Counts of (I, P, B) pictures per period.
+    pub fn type_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for i in 0..self.n {
+            match self.type_at(i) {
+                PictureType::I => counts.0 += 1,
+                PictureType::P => counts.1 += 1,
+                PictureType::B => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Iterator over picture types in display order, indefinitely
+    /// (the pattern "repeats indefinitely", paper §1).
+    pub fn iter(&self) -> impl Iterator<Item = PictureType> + '_ {
+        (0..).map(move |i| self.type_at(i))
+    }
+
+    /// The display index of the reference picture that a B at display
+    /// index `i` predicts *forward* from (its past reference), or the
+    /// previous reference for P pictures. `None` for the very first I and
+    /// for pictures at the sequence start with no past reference.
+    pub fn past_reference(&self, i: usize) -> Option<usize> {
+        match self.type_at(i) {
+            PictureType::I => None,
+            PictureType::P => Some(i - self.m),
+            PictureType::B => Some(i - (i % self.m)),
+        }
+    }
+
+    /// The display index of the *future* reference of a B picture at
+    /// display index `i` (the I or P it predicts backward from).
+    /// `None` for I and P pictures.
+    pub fn future_reference(&self, i: usize) -> Option<usize> {
+        match self.type_at(i) {
+            PictureType::B => Some(i - (i % self.m) + self.m),
+            _ => None,
+        }
+    }
+
+    /// Number of B pictures between consecutive references (`M − 1`).
+    #[inline]
+    pub fn b_run_len(&self) -> usize {
+        self.m - 1
+    }
+
+    /// Encoder lookahead needed before a B picture can be encoded: the
+    /// encoder must capture up to the future reference, i.e. `M` pictures
+    /// ("an encoder must introduce a delay equal to the time to capture and
+    /// digitize M pictures", paper §2).
+    #[inline]
+    pub fn encoder_lookahead(&self) -> usize {
+        if self.m > 1 {
+            self.m
+        } else {
+            0
+        }
+    }
+}
+
+impl fmt::Display for GopPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in self.types() {
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::picture::PictureType::{B, I, P};
+
+    #[test]
+    fn paper_example_m3_n9() {
+        // Paper §1: "if M is 3 and N is 9, then the sequence of encoded
+        // pictures is IBBPBBPBB ..."
+        let pat = GopPattern::new(3, 9).unwrap();
+        assert_eq!(pat.types(), vec![I, B, B, P, B, B, P, B, B]);
+        assert_eq!(pat.to_string(), "IBBPBBPBB");
+    }
+
+    #[test]
+    fn paper_example_m1_n5() {
+        // Paper §1: "If M is 1 and N is 5, then the sequence is IPPPP..."
+        let pat = GopPattern::new(1, 5).unwrap();
+        assert_eq!(pat.to_string(), "IPPPP");
+        assert_eq!(pat.type_counts(), (1, 4, 0));
+    }
+
+    #[test]
+    fn driving2_pattern_m2_n6() {
+        // Driving2 is encoded with N = 6, M = 2 (paper §5.1).
+        let pat = GopPattern::new(2, 6).unwrap();
+        assert_eq!(pat.to_string(), "IBPBPB");
+    }
+
+    #[test]
+    fn backyard_pattern_m3_n12() {
+        let pat = GopPattern::new(3, 12).unwrap();
+        assert_eq!(pat.to_string(), "IBBPBBPBBPBB");
+        assert_eq!(pat.type_counts(), (1, 3, 8));
+    }
+
+    #[test]
+    fn wrapping_type_at() {
+        let pat = GopPattern::new(3, 9).unwrap();
+        for i in 0..100 {
+            assert_eq!(pat.type_at(i), pat.type_at(i + 9));
+        }
+    }
+
+    #[test]
+    fn intra_only_pattern() {
+        // N = 1 means every picture is an I (pure intraframe, JPEG-like).
+        let pat = GopPattern::new(1, 1).unwrap();
+        assert_eq!(pat.to_string(), "I");
+        assert_eq!(pat.type_counts(), (1, 0, 0));
+    }
+
+    #[test]
+    fn constructor_rejects_bad_params() {
+        assert_eq!(GopPattern::new(0, 9), Err(PatternError::ZeroM));
+        assert_eq!(GopPattern::new(3, 0), Err(PatternError::ZeroN));
+        assert_eq!(
+            GopPattern::new(4, 9),
+            Err(PatternError::NotDivisible { n: 9, m: 4 })
+        );
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for (m, n) in [(3, 9), (2, 6), (3, 12), (1, 5), (1, 1), (4, 12), (2, 2)] {
+            let pat = GopPattern::new(m, n).unwrap();
+            let reparsed = GopPattern::parse(&pat.to_string()).unwrap();
+            assert_eq!(pat, reparsed, "roundtrip failed for M={m} N={n}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(matches!(GopPattern::parse(""), Err(PatternError::Empty)));
+        assert!(matches!(
+            GopPattern::parse("BBI"),
+            Err(PatternError::MustStartWithI)
+        ));
+        assert!(matches!(
+            GopPattern::parse("IXB"),
+            Err(PatternError::BadLetter {
+                index: 1,
+                letter: 'X'
+            })
+        ));
+        // Irregular: B-runs of differing length.
+        assert!(matches!(
+            GopPattern::parse("IBPBB"),
+            Err(PatternError::Irregular)
+        ));
+        // Trailing B-run too short for M = 3.
+        assert!(matches!(
+            GopPattern::parse("IBBPB"),
+            Err(PatternError::Irregular)
+        ));
+    }
+
+    #[test]
+    fn references_m3() {
+        let pat = GopPattern::new(3, 9).unwrap();
+        // P at 3 references I at 0; P at 6 references P at 3.
+        assert_eq!(pat.past_reference(3), Some(0));
+        assert_eq!(pat.past_reference(6), Some(3));
+        // B at 1, 2 reference I at 0 (past) and P at 3 (future).
+        assert_eq!(pat.past_reference(1), Some(0));
+        assert_eq!(pat.future_reference(1), Some(3));
+        assert_eq!(pat.past_reference(2), Some(0));
+        assert_eq!(pat.future_reference(2), Some(3));
+        // B at 7, 8 reference P at 6 and I at 9 (next GOP).
+        assert_eq!(pat.past_reference(7), Some(6));
+        assert_eq!(pat.future_reference(8), Some(9));
+        // I has no references.
+        assert_eq!(pat.past_reference(0), None);
+        assert_eq!(pat.future_reference(0), None);
+        assert_eq!(pat.future_reference(3), None);
+    }
+
+    #[test]
+    fn encoder_lookahead() {
+        assert_eq!(GopPattern::new(3, 9).unwrap().encoder_lookahead(), 3);
+        assert_eq!(GopPattern::new(1, 5).unwrap().encoder_lookahead(), 0);
+    }
+
+    #[test]
+    fn iter_matches_type_at() {
+        let pat = GopPattern::new(2, 6).unwrap();
+        let taken: Vec<_> = pat.iter().take(13).collect();
+        let expected: Vec<_> = (0..13).map(|i| pat.type_at(i)).collect();
+        assert_eq!(taken, expected);
+    }
+}

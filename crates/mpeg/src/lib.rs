@@ -1,0 +1,49 @@
+//! # smooth-mpeg
+//!
+//! MPEG video model for the `mpeg-smooth` workspace — the substrate
+//! beneath the SIGCOMM '94 lossless-smoothing algorithm (Lam, Chow & Yau).
+//!
+//! This crate knows nothing about smoothing; it models the *video side*:
+//!
+//! * [`PictureType`] / [`Resolution`] — picture kinds and geometry;
+//! * [`GopPattern`] — the repeating `(M, N)` pattern of I/P/B pictures
+//!   whose existence the smoothing algorithm exploits for size estimation;
+//! * [`transmission_order`] — display ↔ coded order reordering forced by
+//!   B-picture dependencies;
+//! * [`bitstream`] — a bit-exact writer and resynchronizing parser for the
+//!   MPEG-1 stream structure (sequence/GOP/picture/slice headers, start
+//!   codes), with the macroblock layer as sized opaque payload;
+//! * [`synth`] — a calibrated synthetic encoder turning scene scripts into
+//!   per-picture bit counts (the stand-in for the paper's unpublished
+//!   encoder statistics; see DESIGN.md).
+//!
+//! ## Example
+//!
+//! ```
+//! use smooth_mpeg::{GopPattern, Resolution, synth::{EncoderModel, SceneScript}};
+//! use smooth_rng::Rng;
+//!
+//! let pattern = GopPattern::new(3, 9).unwrap(); // IBBPBBPBB
+//! let encoder = EncoderModel::new(Resolution::VGA, pattern);
+//! let script = SceneScript::steady(90, 1.0, 0.8);
+//! let sizes = encoder.encode_sizes(&script, &mut Rng::seed_from_u64(1));
+//! assert_eq!(sizes.len(), 90);
+//! // The I picture dwarfs the B picture that follows it:
+//! assert!(sizes[0] > 4 * sizes[1]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adaptive;
+pub mod bitstream;
+pub mod gop;
+pub mod picture;
+pub mod reorder;
+pub mod synth;
+
+pub use adaptive::{PatternSchedule, PatternSegment, ScheduleError};
+pub use bitstream::{parse_stream, write_stream, QuantizerSet, SequenceHeader, StreamSpec};
+pub use gop::{GopPattern, PatternError};
+pub use picture::{PictureType, Resolution};
+pub use reorder::{display_to_transmission, max_reorder_distance, transmission_order};

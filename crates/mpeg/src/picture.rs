@@ -1,0 +1,244 @@
+//! Picture types and spatial geometry.
+//!
+//! MPEG distinguishes three kinds of encoded pictures (paper §1–2):
+//!
+//! * **I** (intracoded) — self-contained, decodable without reference to any
+//!   other picture; by far the largest (an order of magnitude bigger than B
+//!   for typical natural scenes).
+//! * **P** (predicted) — motion-compensated from the preceding I or P
+//!   picture.
+//! * **B** (bidirectional) — predicted from the preceding *and* following
+//!   I-or-P picture; the smallest.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The coding type of an MPEG picture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PictureType {
+    /// Intracoded picture: no interframe prediction.
+    I,
+    /// Predicted picture: forward prediction from the previous reference.
+    P,
+    /// Bidirectional picture: forward, backward, or interpolated prediction.
+    B,
+}
+
+impl PictureType {
+    /// `true` for picture types that other pictures may predict from
+    /// (I and P). B pictures are never used as references in MPEG-1.
+    #[inline]
+    pub fn is_reference(self) -> bool {
+        !matches!(self, PictureType::B)
+    }
+
+    /// The 3-bit `picture_coding_type` value carried in the MPEG-1 picture
+    /// header (ISO 11172-2 table: 1 = I, 2 = P, 3 = B).
+    #[inline]
+    pub fn coding_type_code(self) -> u8 {
+        match self {
+            PictureType::I => 1,
+            PictureType::P => 2,
+            PictureType::B => 3,
+        }
+    }
+
+    /// Inverse of [`coding_type_code`](Self::coding_type_code).
+    pub fn from_coding_type_code(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(PictureType::I),
+            2 => Some(PictureType::P),
+            3 => Some(PictureType::B),
+            _ => None,
+        }
+    }
+
+    /// Single-letter representation, as used in pattern strings like
+    /// `"IBBPBBPBB"`.
+    #[inline]
+    pub fn as_char(self) -> char {
+        match self {
+            PictureType::I => 'I',
+            PictureType::P => 'P',
+            PictureType::B => 'B',
+        }
+    }
+
+    /// Parses a single pattern letter (case-insensitive).
+    pub fn from_char(c: char) -> Option<Self> {
+        match c.to_ascii_uppercase() {
+            'I' => Some(PictureType::I),
+            'P' => Some(PictureType::P),
+            'B' => Some(PictureType::B),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PictureType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_char())
+    }
+}
+
+/// Spatial resolution of a video sequence, in pixels.
+///
+/// MPEG operates on 16×16-pixel macroblocks; dimensions are rounded up to
+/// whole macroblocks when counting them (the standard pads the right/bottom
+/// edge).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Resolution {
+    /// Horizontal size in pixels.
+    pub width: u16,
+    /// Vertical size in pixels.
+    pub height: u16,
+}
+
+impl Resolution {
+    /// 640×480 — the resolution of Driving1, Driving2, and Tennis in the
+    /// paper (§5.1).
+    pub const VGA: Resolution = Resolution {
+        width: 640,
+        height: 480,
+    };
+
+    /// 352×288 (CIF) — the resolution of the Backyard sequence (§5.1).
+    pub const CIF: Resolution = Resolution {
+        width: 352,
+        height: 288,
+    };
+
+    /// 352×240 (SIF) — the MPEG-1 constrained-parameters target
+    /// ("relatively low spatial resolution, e.g. 350×250", paper fn. 1).
+    pub const SIF: Resolution = Resolution {
+        width: 352,
+        height: 240,
+    };
+
+    /// Creates a resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or exceeds the 12-bit field of
+    /// the MPEG-1 sequence header (4095).
+    pub fn new(width: u16, height: u16) -> Self {
+        assert!(
+            (1..=4095).contains(&width) && (1..=4095).contains(&height),
+            "resolution {width}x{height} outside MPEG-1 12-bit range"
+        );
+        Resolution { width, height }
+    }
+
+    /// Macroblock columns (width rounded up to a multiple of 16).
+    #[inline]
+    pub fn mb_cols(self) -> u16 {
+        self.width.div_ceil(16)
+    }
+
+    /// Macroblock rows (height rounded up to a multiple of 16).
+    #[inline]
+    pub fn mb_rows(self) -> u16 {
+        self.height.div_ceil(16)
+    }
+
+    /// Total macroblocks per picture.
+    #[inline]
+    pub fn macroblocks(self) -> u32 {
+        u32::from(self.mb_cols()) * u32::from(self.mb_rows())
+    }
+
+    /// Uncompressed size of one picture in bits at 24 bits/pixel
+    /// (the paper's §2 example: 640×480 ≈ 921 kilobytes ≈ 7.4 Mbit).
+    #[inline]
+    pub fn uncompressed_bits(self) -> u64 {
+        u64::from(self.width) * u64::from(self.height) * 24
+    }
+}
+
+impl fmt::Display for Resolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_types() {
+        assert!(PictureType::I.is_reference());
+        assert!(PictureType::P.is_reference());
+        assert!(!PictureType::B.is_reference());
+    }
+
+    #[test]
+    fn coding_type_roundtrip() {
+        for t in [PictureType::I, PictureType::P, PictureType::B] {
+            assert_eq!(
+                PictureType::from_coding_type_code(t.coding_type_code()),
+                Some(t)
+            );
+        }
+        assert_eq!(PictureType::from_coding_type_code(0), None);
+        assert_eq!(PictureType::from_coding_type_code(4), None);
+    }
+
+    #[test]
+    fn char_roundtrip_case_insensitive() {
+        assert_eq!(PictureType::from_char('i'), Some(PictureType::I));
+        assert_eq!(PictureType::from_char('p'), Some(PictureType::P));
+        assert_eq!(PictureType::from_char('B'), Some(PictureType::B));
+        assert_eq!(PictureType::from_char('x'), None);
+        for t in [PictureType::I, PictureType::P, PictureType::B] {
+            assert_eq!(PictureType::from_char(t.as_char()), Some(t));
+        }
+    }
+
+    #[test]
+    fn display_matches_char() {
+        assert_eq!(PictureType::I.to_string(), "I");
+        assert_eq!(
+            format!("{}{}{}", PictureType::I, PictureType::B, PictureType::P),
+            "IBP"
+        );
+    }
+
+    #[test]
+    fn vga_macroblock_grid() {
+        // Paper §2: "consider a picture of 640x480 pixels. There are 40x30
+        // macroblocks in the picture."
+        assert_eq!(Resolution::VGA.mb_cols(), 40);
+        assert_eq!(Resolution::VGA.mb_rows(), 30);
+        assert_eq!(Resolution::VGA.macroblocks(), 1200);
+    }
+
+    #[test]
+    fn cif_macroblock_grid() {
+        assert_eq!(Resolution::CIF.mb_cols(), 22);
+        assert_eq!(Resolution::CIF.mb_rows(), 18);
+        assert_eq!(Resolution::CIF.macroblocks(), 396);
+    }
+
+    #[test]
+    fn non_multiple_of_16_rounds_up() {
+        let r = Resolution::new(350, 250);
+        assert_eq!(r.mb_cols(), 22); // ceil(350/16) = 22
+        assert_eq!(r.mb_rows(), 16); // ceil(250/16) = 16
+    }
+
+    #[test]
+    fn uncompressed_size_matches_paper_example() {
+        // 640*480*24 bits = 921,600 bytes ("about 921 kilobytes", §2) and
+        // ~221 Mbps at 30 pictures/s.
+        assert_eq!(Resolution::VGA.uncompressed_bits(), 921_600 * 8);
+        let mbps = Resolution::VGA.uncompressed_bits() as f64 * 30.0 / 1e6;
+        assert!((mbps - 221.0).abs() < 1.0, "{mbps}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside MPEG-1 12-bit range")]
+    fn zero_width_rejected() {
+        Resolution::new(0, 480);
+    }
+}

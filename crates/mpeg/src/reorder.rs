@@ -1,0 +1,170 @@
+//! Display-order ↔ transmission-order conversion.
+//!
+//! A B picture depends on a reference picture *in the future* of display
+//! order, so it cannot be decoded until that reference has been received.
+//! MPEG therefore transmits the reference picture following a group of B
+//! pictures ahead of the group (paper §2):
+//!
+//! ```text
+//! display:      I B B P B B P B B I B B P ...
+//! transmission: I P B B P B B I B B P B B ...
+//! ```
+//!
+//! Functions here compute the permutation between the two orders for a
+//! finite sequence. Indices are 0-based display positions.
+
+use crate::gop::GopPattern;
+use crate::picture::PictureType;
+
+/// Returns the display indices of a `count`-picture sequence in
+/// **transmission (coded) order**.
+///
+/// Rule: scan display order; B pictures are held back until the reference
+/// picture that follows them has been emitted. Trailing B pictures whose
+/// future reference lies beyond the end of the sequence are emitted last,
+/// in display order (a real encoder would end the sequence on a reference
+/// picture; this is the graceful degradation for truncated traces).
+///
+/// # Example
+///
+/// ```
+/// use smooth_mpeg::{GopPattern, transmission_order};
+///
+/// let pat = GopPattern::new(3, 9).unwrap();
+/// let order = transmission_order(&pat, 10);
+/// assert_eq!(order, vec![0, 3, 1, 2, 6, 4, 5, 9, 7, 8]);
+/// ```
+pub fn transmission_order(pattern: &GopPattern, count: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(count);
+    let mut pending_b: Vec<usize> = Vec::with_capacity(pattern.b_run_len());
+    for i in 0..count {
+        match pattern.type_at(i) {
+            PictureType::B => pending_b.push(i),
+            PictureType::I | PictureType::P => {
+                out.push(i);
+                out.append(&mut pending_b);
+            }
+        }
+    }
+    // Truncated tail: B pictures with no future reference inside the
+    // sequence.
+    out.append(&mut pending_b);
+    out
+}
+
+/// Inverse permutation of [`transmission_order`]: `result[d]` is the
+/// transmission position of the picture at display index `d`.
+pub fn display_to_transmission(pattern: &GopPattern, count: usize) -> Vec<usize> {
+    let order = transmission_order(pattern, count);
+    let mut inv = vec![0usize; count];
+    for (tx_pos, &display_idx) in order.iter().enumerate() {
+        inv[display_idx] = tx_pos;
+    }
+    inv
+}
+
+/// Maximum decoder reordering depth: the largest distance (in pictures) a
+/// picture moves between display and transmission order. This bounds the
+/// decoder's reorder buffer, and equals `M − 1` shifts for B pictures plus
+/// the reference pull-ahead.
+pub fn max_reorder_distance(pattern: &GopPattern, count: usize) -> usize {
+    let inv = display_to_transmission(pattern, count);
+    inv.iter()
+        .enumerate()
+        .map(|(d, &t)| d.abs_diff(t))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_transmission_example() {
+        // Paper §2: display IBBPBBPBBIBBP -> transmission IPBBPBBIBBPBB.
+        let pat = GopPattern::new(3, 9).unwrap();
+        let order = transmission_order(&pat, 13);
+        let display: String = (0..13).map(|i| pat.type_at(i).as_char()).collect();
+        assert_eq!(display, "IBBPBBPBBIBBP");
+        let tx: String = order.iter().map(|&i| pat.type_at(i).as_char()).collect();
+        assert_eq!(tx, "IPBBPBBIBBPBB");
+    }
+
+    #[test]
+    fn transmission_is_a_permutation() {
+        for (m, n) in [(3, 9), (2, 6), (3, 12), (1, 5)] {
+            let pat = GopPattern::new(m, n).unwrap();
+            for count in [0, 1, 5, 9, 10, 37] {
+                let mut order = transmission_order(&pat, count);
+                order.sort_unstable();
+                let expected: Vec<usize> = (0..count).collect();
+                assert_eq!(
+                    order, expected,
+                    "not a permutation for M={m} N={n} count={count}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_b_pictures_means_identity() {
+        let pat = GopPattern::new(1, 5).unwrap(); // IPPPP
+        assert_eq!(transmission_order(&pat, 11), (0..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn b_always_after_its_future_reference() {
+        let pat = GopPattern::new(3, 9).unwrap();
+        let count = 27;
+        let inv = display_to_transmission(&pat, count);
+        for d in 0..count {
+            if let Some(fr) = pat.future_reference(d) {
+                if fr < count {
+                    assert!(
+                        inv[d] > inv[fr],
+                        "B at display {d} must be transmitted after its future ref {fr}"
+                    );
+                }
+            }
+            if let Some(pr) = pat.past_reference(d) {
+                assert!(
+                    inv[d] > inv[pr],
+                    "picture {d} must be transmitted after its past ref {pr}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_tail_bs_are_emitted() {
+        let pat = GopPattern::new(3, 9).unwrap();
+        // count = 11 ends at display IBBPBBPBB IB: picture 10 is a B whose
+        // future reference (12) is absent.
+        let order = transmission_order(&pat, 11);
+        assert_eq!(order.len(), 11);
+        assert!(order.contains(&10));
+        // The stranded B comes last.
+        assert_eq!(*order.last().unwrap(), 10);
+    }
+
+    #[test]
+    fn inverse_really_inverts() {
+        let pat = GopPattern::new(2, 6).unwrap();
+        let count = 20;
+        let order = transmission_order(&pat, count);
+        let inv = display_to_transmission(&pat, count);
+        for (tx_pos, &d) in order.iter().enumerate() {
+            assert_eq!(inv[d], tx_pos);
+        }
+    }
+
+    #[test]
+    fn reorder_distance_bounds() {
+        // For IPPPP nothing moves.
+        assert_eq!(max_reorder_distance(&GopPattern::new(1, 5).unwrap(), 20), 0);
+        // For M=3 the reference moves ahead of M-1 = 2 Bs.
+        let d = max_reorder_distance(&GopPattern::new(3, 9).unwrap(), 27);
+        assert_eq!(d, 2);
+    }
+}

@@ -1,0 +1,410 @@
+//! Synthetic VBR encoder: scene script → per-picture coded sizes.
+//!
+//! This is the stand-in for the paper's real MPEG encoder (see DESIGN.md
+//! §2). It produces a deterministic sequence of picture sizes with the
+//! statistical structure the paper describes:
+//!
+//! * I ≫ P ≫ B, with I roughly an order of magnitude larger than B for
+//!   typical natural scenes (§1);
+//! * I sizes track scene *complexity*; P/B sizes track *motion* (§1:
+//!   "Pictures also require more bits to encode when there is a lot of
+//!   motion in a scene (P and B pictures in particular)");
+//! * scene changes inflate the first P/B pictures after the cut, because
+//!   interframe prediction fails across it (§5.1: "the scene changes give
+//!   rise to abrupt changes in picture sizes");
+//! * sizes scale with macroblock count (resolution) and quantizer scale;
+//! * small multiplicative (lognormal) noise models residual content
+//!   variation from picture to picture.
+
+use super::quantizer::size_factor;
+use super::scene::SceneScript;
+use crate::bitstream::writer::{min_picture_bits, QuantizerSet};
+use crate::gop::GopPattern;
+use crate::picture::{PictureType, Resolution};
+use serde::{Deserialize, Serialize};
+use smooth_rng::Rng;
+
+/// Reference macroblock count the base sizes are calibrated at
+/// (640×480 = 1200 macroblocks, the paper's main resolution).
+const REFERENCE_MACROBLOCKS: f64 = 1200.0;
+
+/// Exponent of the prediction-distance scaling law for P/B pictures.
+///
+/// Motion-compensation residuals grow with the temporal distance to the
+/// reference picture, so a pattern with smaller `M` (references closer
+/// together) produces smaller P and B pictures for the same content.
+/// Sizes scale as `(M / 3)^0.35`, normalized to the paper's main `M = 3`
+/// patterns. This keeps the Driving2 re-encode (`M = 2`) near the same
+/// ≈3 Mbps maximum smoothed rate the paper reports for all three VGA
+/// sequences.
+const PREDICTION_DISTANCE_EXPONENT: f64 = 0.35;
+
+/// Exponent of the size-vs-macroblock-count scaling law.
+///
+/// Coded bits grow *sublinearly* with pixel count at constant quantizer:
+/// a smaller picture of the same scene packs more detail per macroblock.
+/// The exponent is fitted to the paper's cross-resolution observation
+/// (§5.2): the 352×288 Backyard sequence smooths to about **half** the
+/// maximum rate of the 640×480 sequences (≈1.5 vs ≈3 Mbps), not the third
+/// that linear macroblock scaling would predict.
+const RESOLUTION_EXPONENT: f64 = 0.62;
+
+/// Base coded sizes in bits at the reference point: 640×480, the paper's
+/// quantizers (4/6/15), complexity 1.0, motion 1.0.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BaseSizes {
+    /// I-picture size at the reference point.
+    pub i_bits: f64,
+    /// P-picture size at the reference point.
+    pub p_bits: f64,
+    /// B-picture size at the reference point.
+    pub b_bits: f64,
+}
+
+impl Default for BaseSizes {
+    /// Calibrated so the four paper sequences land in the reported ranges
+    /// (I ≈ 150–283 kbit, smoothed rates 1–3 Mbps at 640×480; §5.1–5.2).
+    fn default() -> Self {
+        BaseSizes {
+            i_bits: 210_000.0,
+            p_bits: 135_000.0,
+            b_bits: 32_000.0,
+        }
+    }
+}
+
+/// Scene-change inflation parameters: the multiplicative boost applied to
+/// predicted pictures right after a cut, decaying exponentially with
+/// distance from it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SceneChangeBoost {
+    /// Peak extra factor for P pictures (a P just after a cut is nearly
+    /// intra-coded, so it approaches I size).
+    pub p_boost: f64,
+    /// Peak extra factor for B pictures (one-sided prediction only).
+    pub b_boost: f64,
+    /// Decay constant in pictures.
+    pub decay: f64,
+}
+
+impl Default for SceneChangeBoost {
+    fn default() -> Self {
+        SceneChangeBoost {
+            p_boost: 1.3,
+            b_boost: 0.9,
+            decay: 2.5,
+        }
+    }
+}
+
+/// The synthetic encoder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EncoderModel {
+    /// Picture dimensions (sizes scale with macroblock count).
+    pub resolution: Resolution,
+    /// Repeating picture-type pattern.
+    pub pattern: GopPattern,
+    /// Quantizer scales; defaults to the paper's 4/6/15.
+    pub quantizers: QuantizerSetSer,
+    /// Reference sizes.
+    pub base: BaseSizes,
+    /// Scene-change behaviour.
+    pub scene_change: SceneChangeBoost,
+    /// Lognormal σ of per-picture multiplicative noise.
+    pub noise_sigma: f64,
+}
+
+/// Serializable mirror of [`QuantizerSet`] (kept separate so the bitstream
+/// layer stays serde-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantizerSetSer {
+    /// I quantizer scale.
+    pub i: u8,
+    /// P quantizer scale.
+    pub p: u8,
+    /// B quantizer scale.
+    pub b: u8,
+}
+
+impl From<QuantizerSet> for QuantizerSetSer {
+    fn from(q: QuantizerSet) -> Self {
+        QuantizerSetSer {
+            i: q.i,
+            p: q.p,
+            b: q.b,
+        }
+    }
+}
+
+impl From<QuantizerSetSer> for QuantizerSet {
+    fn from(q: QuantizerSetSer) -> Self {
+        QuantizerSet {
+            i: q.i,
+            p: q.p,
+            b: q.b,
+        }
+    }
+}
+
+impl EncoderModel {
+    /// An encoder at `resolution` with `pattern` and all defaults
+    /// (paper quantizers, calibrated base sizes).
+    pub fn new(resolution: Resolution, pattern: GopPattern) -> Self {
+        EncoderModel {
+            resolution,
+            pattern,
+            quantizers: QuantizerSet::PAPER.into(),
+            base: BaseSizes::default(),
+            scene_change: SceneChangeBoost::default(),
+            noise_sigma: 0.07,
+        }
+    }
+
+    /// Expected (noise-free) size in bits of picture `i` under `script`.
+    ///
+    /// Exposed separately from [`encode_sizes`](Self::encode_sizes) so
+    /// tests and analytical tooling can reason about the deterministic
+    /// skeleton.
+    pub fn expected_bits(&self, script: &SceneScript, i: usize) -> f64 {
+        let t = self.pattern.type_at(i);
+        let (complexity, motion) = script.params_at(i);
+        let mb_scale = (f64::from(self.resolution.macroblocks()) / REFERENCE_MACROBLOCKS)
+            .powf(RESOLUTION_EXPONENT);
+        let q: QuantizerSet = self.quantizers.into();
+        let (base, q_ref, q_now) = match t {
+            PictureType::I => (self.base.i_bits, QuantizerSet::PAPER.i, q.i),
+            PictureType::P => (self.base.p_bits, QuantizerSet::PAPER.p, q.p),
+            PictureType::B => (self.base.b_bits, QuantizerSet::PAPER.b, q.b),
+        };
+        let q_scale = size_factor(q_now) / size_factor(q_ref);
+        let content = match t {
+            // I pictures depend only on spatial complexity.
+            PictureType::I => complexity,
+            // Predicted pictures: mild complexity dependence, strong
+            // motion dependence (normalized to 1.0 at c = m = 1).
+            PictureType::P => (0.3 + 0.7 * complexity) * (0.25 + 0.75 * motion),
+            PictureType::B => (0.3 + 0.7 * complexity) * (0.18 + 0.82 * motion),
+        };
+        let prediction_distance = match t {
+            PictureType::I => 1.0,
+            // References are M apart; B pictures sit between them.
+            PictureType::P | PictureType::B => {
+                (self.pattern.m() as f64 / 3.0).powf(PREDICTION_DISTANCE_EXPONENT)
+            }
+        };
+        let boost = match (t, script.pictures_since_change(i)) {
+            (PictureType::I, _) | (_, None) => 1.0,
+            (PictureType::P, Some(d)) => {
+                1.0 + self.scene_change.p_boost * (-(d as f64) / self.scene_change.decay).exp()
+            }
+            (PictureType::B, Some(d)) => {
+                1.0 + self.scene_change.b_boost * (-(d as f64) / self.scene_change.decay).exp()
+            }
+        };
+        base * mb_scale * q_scale * content * prediction_distance * boost * script.event_factor(i)
+    }
+
+    /// Generates the full size sequence for `script`, with noise, in
+    /// display order. Deterministic for a given `rng` state.
+    ///
+    /// Sizes are floored at the structural minimum a real picture of that
+    /// type occupies (headers cannot be elided) and rounded to whole
+    /// bytes.
+    pub fn encode_sizes(&self, script: &SceneScript, rng: &mut Rng) -> Vec<u64> {
+        let slices = usize::from(self.resolution.mb_rows()).min(0xAF);
+        (0..script.total_pictures())
+            .map(|i| {
+                let t = self.pattern.type_at(i);
+                let noisy = self.expected_bits(script, i) * rng.lognormal(0.0, self.noise_sigma);
+                let bits = (noisy / 8.0).round().max(0.0) as u64 * 8;
+                bits.max(min_picture_bits(t, slices))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::scene::{ScenePhase, SizeEvent};
+
+    fn vga_model() -> EncoderModel {
+        EncoderModel::new(Resolution::VGA, GopPattern::new(3, 9).unwrap())
+    }
+
+    fn busy_script() -> SceneScript {
+        SceneScript::steady(90, 1.0, 1.0)
+    }
+
+    #[test]
+    fn i_much_larger_than_b() {
+        // Paper §1: "the size of an I picture is larger than the size of a
+        // B picture by an order of magnitude".
+        let m = vga_model();
+        let s = busy_script();
+        let i_bits = m.expected_bits(&s, 0);
+        let b_bits = m.expected_bits(&s, 1);
+        let p_bits = m.expected_bits(&s, 3);
+        assert!(i_bits / b_bits >= 5.0, "I/B = {}", i_bits / b_bits);
+        assert!(i_bits > p_bits && p_bits > b_bits);
+    }
+
+    #[test]
+    fn standard_allocation_guidance_holds() {
+        // Paper fn. 9 / [7]: P should get 2-5x the bits of B, I up to 3x P.
+        let m = vga_model();
+        let s = busy_script();
+        let i = m.expected_bits(&s, 0);
+        let p = m.expected_bits(&s, 3);
+        let b = m.expected_bits(&s, 1);
+        let pb = p / b;
+        let ip = i / p;
+        assert!((2.0..=5.0).contains(&pb), "P/B = {pb}");
+        assert!((1.0..=3.0).contains(&ip), "I/P = {ip}");
+    }
+
+    #[test]
+    fn motion_inflates_p_and_b_not_i() {
+        let m = vga_model();
+        let low = SceneScript::steady(90, 1.0, 0.1);
+        let high = SceneScript::steady(90, 1.0, 1.0);
+        assert_eq!(
+            m.expected_bits(&low, 0),
+            m.expected_bits(&high, 0),
+            "I is motion-independent"
+        );
+        assert!(
+            m.expected_bits(&high, 3) > 2.0 * m.expected_bits(&low, 3),
+            "P tracks motion"
+        );
+        assert!(
+            m.expected_bits(&high, 1) > 2.0 * m.expected_bits(&low, 1),
+            "B tracks motion"
+        );
+    }
+
+    #[test]
+    fn complexity_inflates_i() {
+        let m = vga_model();
+        let plain = SceneScript::steady(90, 0.7, 0.5);
+        let complex = SceneScript::steady(90, 1.2, 0.5);
+        let ratio = m.expected_bits(&complex, 0) / m.expected_bits(&plain, 0);
+        assert!((ratio - 1.2 / 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scene_change_spikes_p_and_decays() {
+        let m = vga_model();
+        let steady = SceneScript::steady(180, 1.0, 0.8);
+        // Put the cut at 85 so it does not land on an I picture
+        // (90 % 9 == 0 would).
+        let script2 = SceneScript {
+            phases: vec![
+                ScenePhase::steady(85, 1.0, 0.8),
+                ScenePhase::steady(95, 1.0, 0.8),
+            ],
+            events: vec![],
+        };
+        // Picture 87 is a P (87 % 9 == 6), two pictures after the cut.
+        let boosted = m.expected_bits(&script2, 87);
+        let baseline = m.expected_bits(&steady, 87);
+        assert!(boosted > baseline * 1.3, "{boosted} vs {baseline}");
+        // Far from the cut the boost has decayed away.
+        let far = m.expected_bits(&script2, 130);
+        let far_base = m.expected_bits(&steady, 130);
+        assert!((far / far_base - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn i_pictures_unaffected_by_scene_change_boost() {
+        let m = vga_model();
+        let script = SceneScript {
+            phases: vec![
+                ScenePhase::steady(90, 1.0, 0.8),
+                ScenePhase::steady(90, 1.0, 0.8),
+            ],
+            events: vec![],
+        };
+        let steady = SceneScript::steady(180, 1.0, 0.8);
+        // Picture 90 is an I right at the cut.
+        assert_eq!(m.expected_bits(&script, 90), m.expected_bits(&steady, 90));
+    }
+
+    #[test]
+    fn events_multiply() {
+        let m = vga_model();
+        let mut s = busy_script();
+        s.events.push(SizeEvent {
+            picture: 12,
+            factor: 2.5,
+        });
+        let plain = busy_script();
+        let ratio = m.expected_bits(&s, 12) / m.expected_bits(&plain, 12);
+        assert!((ratio - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resolution_scales_sizes() {
+        let vga = vga_model();
+        let cif = EncoderModel::new(Resolution::CIF, GopPattern::new(3, 9).unwrap());
+        let s = busy_script();
+        let ratio = cif.expected_bits(&s, 0) / vga.expected_bits(&s, 0);
+        let expected = (396.0f64 / 1200.0).powf(0.62);
+        assert!((ratio - expected).abs() < 1e-9);
+        // Sublinear: more bits than linear macroblock scaling would give.
+        assert!(ratio > 396.0 / 1200.0);
+    }
+
+    #[test]
+    fn coarser_quantizer_shrinks_output() {
+        let mut coarse = vga_model();
+        coarse.quantizers = QuantizerSet {
+            i: 30,
+            p: 30,
+            b: 30,
+        }
+        .into();
+        let fine = vga_model();
+        let s = busy_script();
+        assert!(coarse.expected_bits(&s, 0) < fine.expected_bits(&s, 0) * 0.3);
+    }
+
+    #[test]
+    fn encode_sizes_deterministic_and_positive() {
+        let m = vga_model();
+        let s = busy_script();
+        let a = m.encode_sizes(&s, &mut Rng::seed_from_u64(5));
+        let b = m.encode_sizes(&s, &mut Rng::seed_from_u64(5));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 90);
+        assert!(a.iter().all(|&x| x > 0 && x % 8 == 0));
+    }
+
+    #[test]
+    fn noise_is_small_relative_variation() {
+        let m = vga_model();
+        let s = busy_script();
+        let sizes = m.encode_sizes(&s, &mut Rng::seed_from_u64(6));
+        // All I pictures in a steady scene should be within ~±30% of the
+        // expected value (noise_sigma = 0.07 -> 4 sigma).
+        let expected = m.expected_bits(&s, 0);
+        for i in (0..90).step_by(9) {
+            let rel = sizes[i] as f64 / expected;
+            assert!((0.7..1.3).contains(&rel), "picture {i}: rel {rel}");
+        }
+    }
+
+    #[test]
+    fn paper_intro_example_magnitudes() {
+        // Paper §1: "Consider an I picture, which is 200,000 bits long,
+        // followed by a B picture, which is 20,000 bits long. (These are
+        // realistic numbers from some of the video sequences we have
+        // encoded at 640x480.)"
+        let m = vga_model();
+        let s = SceneScript::steady(90, 1.0, 0.35); // moderate motion
+        let i_bits = m.expected_bits(&s, 0);
+        let b_bits = m.expected_bits(&s, 1);
+        assert!((150_000.0..=283_000.0).contains(&i_bits), "I = {i_bits}");
+        assert!((10_000.0..=40_000.0).contains(&b_bits), "B = {b_bits}");
+    }
+}

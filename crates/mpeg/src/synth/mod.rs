@@ -1,0 +1,14 @@
+//! Synthetic VBR encoder model.
+//!
+//! Substitutes for the paper's real MPEG encoder (DESIGN.md §2): a scene
+//! script (phases of complexity/motion plus isolated events) drives a
+//! calibrated size model to produce per-picture bit counts with the same
+//! dynamics the paper reports for its four sequences.
+
+pub mod encoder;
+pub mod quantizer;
+pub mod scene;
+
+pub use encoder::{BaseSizes, EncoderModel, QuantizerSetSer, SceneChangeBoost};
+pub use quantizer::{size_factor, size_ratio, PAPER_I_BITS_Q30, PAPER_I_BITS_Q4};
+pub use scene::{ScenePhase, SceneScript, SizeEvent};

@@ -1,0 +1,87 @@
+//! Quantizer-scale size model.
+//!
+//! The paper's §3.1 reports a concrete measurement: re-encoding an I
+//! picture with quantizer scale 30 instead of 4 shrank it from 282,976 to
+//! 75,960 bits (and made it "grainy, fuzzy" — the reason lossy rate control
+//! should be a last resort). This module fits a two-parameter hyperbolic
+//! model `size ∝ c₁ + c₂/q` through that measurement so the synthetic
+//! encoder and the `experiments quantizer` reproduction share one curve.
+
+/// Hyperbolic model coefficients, calibrated so that
+/// `factor(4) = 1` and `factor(30) = 75960 / 282976`.
+const C1: f64 = 0.155_882_352_941_176_5;
+const C2: f64 = 3.376_470_588_235_294;
+
+/// Paper's reference measurement: I-picture size at quantizer scale 4.
+pub const PAPER_I_BITS_Q4: u64 = 282_976;
+/// Paper's reference measurement: the same picture at quantizer scale 30.
+pub const PAPER_I_BITS_Q30: u64 = 75_960;
+
+/// Relative coded size of a picture at quantizer scale `q`, normalized to
+/// `q = 4` (the paper's I-picture scale).
+///
+/// # Panics
+///
+/// Panics if `q` is outside the MPEG range `1..=31`.
+pub fn size_factor(q: u8) -> f64 {
+    assert!((1..=31).contains(&q), "quantizer scale {q} outside 1..=31");
+    C1 + C2 / f64::from(q)
+}
+
+/// Size ratio when re-encoding from quantizer `from` to quantizer `to`
+/// (`> 1` means the picture grows).
+pub fn size_ratio(from: u8, to: u8) -> f64 {
+    size_factor(to) / size_factor(from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_to_paper_measurement() {
+        // §3.1: 282,976 bits at q=4 -> 75,960 bits at q=30.
+        assert!((size_factor(4) - 1.0).abs() < 1e-12);
+        let predicted = PAPER_I_BITS_Q4 as f64 * size_ratio(4, 30);
+        assert!(
+            (predicted - PAPER_I_BITS_Q30 as f64).abs() < 1.0,
+            "predicted {predicted}, paper says {PAPER_I_BITS_Q30}"
+        );
+    }
+
+    #[test]
+    fn monotone_decreasing_in_q() {
+        for q in 1..31u8 {
+            assert!(
+                size_factor(q) > size_factor(q + 1),
+                "coarser quantization must shrink pictures (q={q})"
+            );
+        }
+    }
+
+    #[test]
+    fn ratio_composition() {
+        let direct = size_ratio(4, 30);
+        let via_15 = size_ratio(4, 15) * size_ratio(15, 30);
+        assert!((direct - via_15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_ratio() {
+        for q in [1u8, 4, 15, 31] {
+            assert!((size_ratio(q, q) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=31")]
+    fn rejects_zero() {
+        size_factor(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=31")]
+    fn rejects_32() {
+        size_factor(32);
+    }
+}

@@ -1,0 +1,269 @@
+//! Scene scripts: the content model driving the synthetic encoder.
+//!
+//! A video is described as a list of [`ScenePhase`]s — contiguous runs of
+//! pictures sharing a scene, each with a complexity level and a (possibly
+//! ramping) motion level — plus optional per-picture [`SizeEvent`]s for
+//! isolated anomalies (the paper's Tennis sequence has "two isolated
+//! instances of large P pictures", §5.1). Phase boundaries are scene
+//! changes, which inflate the first P/B pictures after the cut because
+//! interframe prediction fails across it.
+
+use serde::{Deserialize, Serialize};
+
+/// A contiguous run of pictures belonging to one scene.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenePhase {
+    /// Number of pictures in this phase.
+    pub pictures: usize,
+    /// Spatial complexity of the scene, nominal range `(0, ~1.3]`.
+    /// 1.0 is a typical busy natural scene; higher means more detail
+    /// (larger I pictures).
+    pub complexity: f64,
+    /// Motion level at the start of the phase, nominal range `[0, ~1.2]`.
+    /// 1.0 is fast full-frame motion (larger P/B pictures).
+    pub motion_start: f64,
+    /// Motion level at the end of the phase; motion ramps linearly in
+    /// between (models Tennis's instructor getting up, §5.1).
+    pub motion_end: f64,
+    /// `true` if this phase continues the previous one without a cut
+    /// (e.g. a motion ramp within one scene). Continuous phases do not
+    /// trigger the scene-change size inflation.
+    pub continuous: bool,
+}
+
+impl ScenePhase {
+    /// A phase with constant motion, preceded by a cut.
+    pub fn steady(pictures: usize, complexity: f64, motion: f64) -> Self {
+        ScenePhase {
+            pictures,
+            complexity,
+            motion_start: motion,
+            motion_end: motion,
+            continuous: false,
+        }
+    }
+
+    /// A phase whose motion ramps linearly from `motion_start` to
+    /// `motion_end`, preceded by a cut.
+    pub fn ramp(pictures: usize, complexity: f64, motion_start: f64, motion_end: f64) -> Self {
+        ScenePhase {
+            pictures,
+            complexity,
+            motion_start,
+            motion_end,
+            continuous: false,
+        }
+    }
+
+    /// Marks this phase as continuing the previous scene (no cut).
+    pub fn continuous(mut self) -> Self {
+        self.continuous = true;
+        self
+    }
+
+    /// Motion at relative position `k` of `self.pictures`.
+    fn motion_at(&self, k: usize) -> f64 {
+        if self.pictures <= 1 {
+            return self.motion_start;
+        }
+        let t = k as f64 / (self.pictures - 1) as f64;
+        self.motion_start + (self.motion_end - self.motion_start) * t
+    }
+}
+
+/// An isolated multiplicative size anomaly for a single picture.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizeEvent {
+    /// Display index of the affected picture.
+    pub picture: usize,
+    /// Multiplicative factor applied to that picture's size.
+    pub factor: f64,
+}
+
+/// A complete content description of a video.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SceneScript {
+    /// The phases, in order.
+    pub phases: Vec<ScenePhase>,
+    /// Isolated per-picture anomalies.
+    pub events: Vec<SizeEvent>,
+}
+
+impl SceneScript {
+    /// A script with a single steady phase and no events.
+    pub fn steady(pictures: usize, complexity: f64, motion: f64) -> Self {
+        SceneScript {
+            phases: vec![ScenePhase::steady(pictures, complexity, motion)],
+            events: vec![],
+        }
+    }
+
+    /// Total picture count.
+    pub fn total_pictures(&self) -> usize {
+        self.phases.iter().map(|p| p.pictures).sum()
+    }
+
+    /// `(complexity, motion)` for display index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is beyond the script.
+    pub fn params_at(&self, i: usize) -> (f64, f64) {
+        let mut offset = 0;
+        for phase in &self.phases {
+            if i < offset + phase.pictures {
+                return (phase.complexity, phase.motion_at(i - offset));
+            }
+            offset += phase.pictures;
+        }
+        panic!("picture index {i} beyond script length {offset}");
+    }
+
+    /// Display indices at which a scene change (a cut) occurs: the first
+    /// picture of every non-[`continuous`](ScenePhase::continuous) phase
+    /// after the first.
+    pub fn scene_changes(&self) -> Vec<usize> {
+        let mut changes = Vec::new();
+        let mut offset = 0;
+        for (k, phase) in self.phases.iter().enumerate() {
+            if k > 0 && !phase.continuous {
+                changes.push(offset);
+            }
+            offset += phase.pictures;
+        }
+        changes
+    }
+
+    /// Distance (in pictures) from `i` back to the most recent scene
+    /// change, or `None` if no change at or before `i`.
+    pub fn pictures_since_change(&self, i: usize) -> Option<usize> {
+        self.scene_changes()
+            .iter()
+            .rev()
+            .find(|&&c| c <= i)
+            .map(|&c| i - c)
+    }
+
+    /// Combined event factor for picture `i` (product of all matching
+    /// events; 1.0 if none).
+    pub fn event_factor(&self, i: usize) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.picture == i)
+            .map(|e| e.factor)
+            .product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_phase() -> SceneScript {
+        SceneScript {
+            phases: vec![
+                ScenePhase::steady(100, 1.0, 0.9),
+                ScenePhase::steady(50, 0.8, 0.2),
+            ],
+            events: vec![SizeEvent {
+                picture: 120,
+                factor: 2.5,
+            }],
+        }
+    }
+
+    #[test]
+    fn totals_and_params() {
+        let s = two_phase();
+        assert_eq!(s.total_pictures(), 150);
+        assert_eq!(s.params_at(0), (1.0, 0.9));
+        assert_eq!(s.params_at(99), (1.0, 0.9));
+        assert_eq!(s.params_at(100), (0.8, 0.2));
+        assert_eq!(s.params_at(149), (0.8, 0.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond script")]
+    fn params_out_of_range() {
+        two_phase().params_at(150);
+    }
+
+    #[test]
+    fn scene_changes_at_phase_boundaries() {
+        let s = two_phase();
+        assert_eq!(s.scene_changes(), vec![100]);
+        let three = SceneScript {
+            phases: vec![
+                ScenePhase::steady(10, 1.0, 1.0),
+                ScenePhase::steady(10, 1.0, 1.0),
+                ScenePhase::steady(10, 1.0, 1.0),
+            ],
+            events: vec![],
+        };
+        assert_eq!(three.scene_changes(), vec![10, 20]);
+        assert_eq!(SceneScript::steady(30, 1.0, 0.5).scene_changes(), vec![]);
+    }
+
+    #[test]
+    fn pictures_since_change() {
+        let s = two_phase();
+        assert_eq!(s.pictures_since_change(50), None);
+        assert_eq!(s.pictures_since_change(100), Some(0));
+        assert_eq!(s.pictures_since_change(103), Some(3));
+    }
+
+    #[test]
+    fn motion_ramp_is_linear() {
+        let phase = ScenePhase::ramp(11, 1.0, 0.0, 1.0);
+        assert!((phase.motion_at(0) - 0.0).abs() < 1e-12);
+        assert!((phase.motion_at(5) - 0.5).abs() < 1e-12);
+        assert!((phase.motion_at(10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_picture_phase_motion() {
+        let phase = ScenePhase::ramp(1, 1.0, 0.3, 0.9);
+        assert_eq!(phase.motion_at(0), 0.3);
+    }
+
+    #[test]
+    fn continuous_phases_are_not_cuts() {
+        let s = SceneScript {
+            phases: vec![
+                ScenePhase::steady(50, 1.0, 0.2),
+                ScenePhase::ramp(50, 1.0, 0.2, 0.9).continuous(),
+                ScenePhase::steady(50, 0.8, 0.5),
+            ],
+            events: vec![],
+        };
+        // Only the third phase begins with a cut.
+        assert_eq!(s.scene_changes(), vec![100]);
+        // Motion still ramps through the continuous phase.
+        let (_, m_mid) = s.params_at(75);
+        assert!(m_mid > 0.2 && m_mid < 0.9);
+    }
+
+    #[test]
+    fn event_factors_compose() {
+        let mut s = two_phase();
+        s.events.push(SizeEvent {
+            picture: 120,
+            factor: 2.0,
+        });
+        assert_eq!(s.event_factor(120), 5.0);
+        assert_eq!(s.event_factor(0), 1.0);
+    }
+
+    #[test]
+    fn ramp_script_params() {
+        let s = SceneScript {
+            phases: vec![ScenePhase::ramp(21, 1.0, 0.2, 1.0)],
+            events: vec![],
+        };
+        let (_, m0) = s.params_at(0);
+        let (_, m10) = s.params_at(10);
+        let (_, m20) = s.params_at(20);
+        assert!(m0 < m10 && m10 < m20);
+        assert!((m10 - 0.6).abs() < 1e-12);
+    }
+}

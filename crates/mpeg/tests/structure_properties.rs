@@ -1,0 +1,75 @@
+//! Property tests for the MPEG structural layer: pattern algebra,
+//! reordering, and bit-level I/O.
+
+use proptest::prelude::*;
+use smooth_mpeg::bitstream::{BitReader, BitWriter};
+use smooth_mpeg::{display_to_transmission, transmission_order, GopPattern, PictureType};
+
+/// Strategy: a random regular (M, N) pair.
+fn arb_pattern() -> impl Strategy<Value = GopPattern> {
+    (1usize..=4, 1usize..=4)
+        .prop_map(|(m, gops)| GopPattern::new(m, m * gops).expect("N is a multiple of M"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Pattern string representation round-trips for every regular pattern.
+    #[test]
+    fn pattern_parse_display_roundtrip(pat in arb_pattern()) {
+        let reparsed = GopPattern::parse(&pat.to_string()).expect("own display must parse");
+        prop_assert_eq!(pat, reparsed);
+    }
+
+    /// Exactly one I per period, references every M, B elsewhere.
+    #[test]
+    fn pattern_structure(pat in arb_pattern()) {
+        let (i, p, b) = pat.type_counts();
+        prop_assert_eq!(i, 1);
+        prop_assert_eq!(p, pat.n() / pat.m() - 1);
+        prop_assert_eq!(b, pat.n() - pat.n() / pat.m());
+        for idx in 0..3 * pat.n() {
+            let t = pat.type_at(idx);
+            prop_assert_eq!(t.is_reference(), idx % pat.m() == 0 || t == PictureType::I);
+        }
+    }
+
+    /// Transmission order is a permutation that puts every picture after
+    /// both of its references.
+    #[test]
+    fn transmission_order_is_causal_permutation(pat in arb_pattern(), count in 0usize..80) {
+        let order = transmission_order(&pat, count);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..count).collect::<Vec<_>>(), "must be a permutation");
+
+        let inv = display_to_transmission(&pat, count);
+        for d in 0..count {
+            if let Some(past) = pat.past_reference(d) {
+                prop_assert!(inv[d] > inv[past], "picture {d} before its past ref");
+            }
+            if let Some(fut) = pat.future_reference(d) {
+                if fut < count {
+                    prop_assert!(inv[d] > inv[fut], "B {d} before its future ref");
+                }
+            }
+        }
+    }
+
+    /// Bit-level writer/reader round-trips arbitrary field sequences.
+    #[test]
+    fn bit_io_roundtrip(fields in proptest::collection::vec((0u32..=0xFFFF_FFFF, 1u8..=32), 0..64)) {
+        let mut w = BitWriter::new();
+        let mut expected = Vec::with_capacity(fields.len());
+        for &(value, width) in &fields {
+            let masked = if width == 32 { value } else { value & ((1u32 << width) - 1) };
+            w.put(masked, width);
+            expected.push((masked, width));
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for (masked, width) in expected {
+            prop_assert_eq!(r.get(width).expect("enough bits"), masked);
+        }
+    }
+}

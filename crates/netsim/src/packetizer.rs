@@ -1,0 +1,139 @@
+//! ATM-style packetization of a rate schedule.
+//!
+//! The paper targets ATM networks (§1): the smoother's output is a fluid
+//! rate function, but the network sees 53-byte cells (48 bytes of
+//! payload). This module converts a piecewise-constant rate schedule into
+//! the deterministic sequence of cell emission times that a shaper
+//! transmitting at exactly `r(t)` would produce.
+
+use smooth_core::RateSegment;
+
+/// Payload bits per ATM cell (48 bytes).
+pub const CELL_PAYLOAD_BITS: f64 = 48.0 * 8.0;
+
+/// Wire bits per ATM cell (53 bytes: 5-byte header + 48-byte payload).
+pub const CELL_WIRE_BITS: f64 = 53.0 * 8.0;
+
+/// Emission times of ATM cells for a transmitter following `segments`.
+///
+/// A cell is emitted whenever another [`CELL_PAYLOAD_BITS`] of payload has
+/// been produced; a final partial cell (AAL-style padding) is emitted at
+/// the end of the last segment if any bits remain.
+///
+/// The returned times are non-decreasing.
+pub fn cell_times(segments: &[RateSegment]) -> Vec<f64> {
+    let total_bits: f64 = segments.iter().map(|s| s.rate * (s.end - s.start)).sum();
+    if total_bits <= 0.0 {
+        return Vec::new();
+    }
+    let n_cells = (total_bits / CELL_PAYLOAD_BITS).ceil() as usize;
+    let mut times = Vec::with_capacity(n_cells);
+    let mut produced = 0.0f64; // payload bits emitted so far
+    let mut next_cell = CELL_PAYLOAD_BITS; // produce threshold for next cell
+
+    for seg in segments {
+        if seg.rate <= 0.0 {
+            continue;
+        }
+        let seg_bits = seg.rate * (seg.end - seg.start);
+        let seg_end_cum = produced + seg_bits;
+        while next_cell <= seg_end_cum + 1e-9 {
+            let dt = (next_cell - produced) / seg.rate;
+            times.push(seg.start + dt.max(0.0));
+            next_cell += CELL_PAYLOAD_BITS;
+        }
+        produced = seg_end_cum;
+    }
+    // Partial final cell: flush at the end of transmission.
+    if times.len() < n_cells {
+        let end = segments
+            .iter()
+            .map(|s| s.end)
+            .fold(f64::NEG_INFINITY, f64::max);
+        times.push(end);
+    }
+    times
+}
+
+/// Merges several sorted cell-time streams into one sorted stream
+/// (the arrival process at a multiplexer fed by many sources).
+pub fn merge_cell_streams(streams: &[Vec<f64>]) -> Vec<f64> {
+    let mut all: Vec<f64> = streams.iter().flatten().copied().collect();
+    all.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(start: f64, end: f64, rate: f64) -> RateSegment {
+        RateSegment { start, end, rate }
+    }
+
+    #[test]
+    fn cell_count_is_ceil_of_payload() {
+        // 1000 bits at 1000 bps over 1s: ceil(1000/384) = 3 cells.
+        let times = cell_times(&[seg(0.0, 1.0, 1000.0)]);
+        assert_eq!(times.len(), 3);
+        // First full cell at 384/1000 s, second at 768/1000 s, flush at 1.
+        assert!((times[0] - 0.384).abs() < 1e-9);
+        assert!((times[1] - 0.768).abs() < 1e-9);
+        assert!((times[2] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_multiple_needs_no_flush() {
+        // Exactly 2 cells worth of bits.
+        let bits = 2.0 * CELL_PAYLOAD_BITS;
+        let times = cell_times(&[seg(0.0, 1.0, bits)]);
+        assert_eq!(times.len(), 2);
+        assert!((times[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn times_are_monotone_across_segments() {
+        let segs = vec![
+            seg(0.0, 0.5, 2_000_000.0),
+            seg(0.5, 1.0, 500_000.0),
+            seg(1.5, 2.0, 1_000_000.0),
+        ];
+        let times = cell_times(&segs);
+        for w in times.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+        // Cell spacing within a constant-rate segment is constant.
+        let d0 = times[1] - times[0];
+        let d1 = times[2] - times[1];
+        assert!((d0 - d1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_rate_means_denser_cells() {
+        let fast = cell_times(&[seg(0.0, 1.0, 4_000_000.0)]);
+        let slow = cell_times(&[seg(0.0, 1.0, 1_000_000.0)]);
+        assert!(fast.len() > 3 * slow.len());
+    }
+
+    #[test]
+    fn zero_rate_and_empty_inputs() {
+        assert!(cell_times(&[]).is_empty());
+        assert!(cell_times(&[seg(0.0, 1.0, 0.0)]).is_empty());
+    }
+
+    #[test]
+    fn merge_is_sorted_union() {
+        let a = vec![0.1, 0.5, 0.9];
+        let b = vec![0.2, 0.4, 1.0];
+        let merged = merge_cell_streams(&[a, b]);
+        assert_eq!(merged, vec![0.1, 0.2, 0.4, 0.5, 0.9, 1.0]);
+    }
+
+    #[test]
+    fn conservation_of_cells_across_merge() {
+        let s1 = cell_times(&[seg(0.0, 1.0, 1_000_000.0)]);
+        let s2 = cell_times(&[seg(0.3, 1.3, 2_000_000.0)]);
+        let merged = merge_cell_streams(&[s1.clone(), s2.clone()]);
+        assert_eq!(merged.len(), s1.len() + s2.len());
+    }
+}

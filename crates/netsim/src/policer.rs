@@ -1,0 +1,266 @@
+//! Token-bucket traffic policing (ATM usage-parameter control).
+//!
+//! A 1994 ATM network admits a VBR connection under a *traffic contract*:
+//! a sustained rate ρ and a burst tolerance σ, enforced by a leaky/token
+//! bucket at the network edge. The burstier the source, the larger the σ
+//! it must purchase. This module measures exactly that: the minimal σ a
+//! rate function needs at a given ρ ([`min_bucket_for`]) and what a
+//! policer drops when the contract is tighter ([`TokenBucket::police`]).
+//!
+//! This is the per-connection dual of the multiplexing experiment: the
+//! paper's smoothing shrinks the σ a connection must buy by an order of
+//! magnitude (see the `upc` experiment table).
+
+use serde::{Deserialize, Serialize};
+use smooth_metrics::StepFunction;
+
+/// A fluid token bucket: tokens accrue at `rate_bps` up to `bucket_bits`;
+/// arriving traffic consumes tokens; traffic arriving when the bucket is
+/// empty (and above the token rate) is non-conforming.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TokenBucket {
+    /// Sustained (token) rate ρ, bits/second.
+    pub rate_bps: f64,
+    /// Burst tolerance σ, bits.
+    pub bucket_bits: f64,
+}
+
+/// Outcome of policing a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoliceStats {
+    /// Total bits offered.
+    pub offered_bits: f64,
+    /// Bits tagged non-conforming (dropped at the edge).
+    pub dropped_bits: f64,
+    /// Lowest token level observed (0 when the bucket ran dry).
+    pub min_tokens: f64,
+}
+
+impl PoliceStats {
+    /// Fraction of offered bits dropped.
+    pub fn drop_ratio(&self) -> f64 {
+        if self.offered_bits <= 0.0 {
+            0.0
+        } else {
+            self.dropped_bits / self.offered_bits
+        }
+    }
+}
+
+impl TokenBucket {
+    /// Polices a piecewise-constant arrival function over `[t0, t1]`,
+    /// starting with a full bucket. Exact between breakpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ρ ≤ 0 or σ < 0.
+    pub fn police(&self, f: &StepFunction, t0: f64, t1: f64) -> PoliceStats {
+        assert!(self.rate_bps > 0.0, "token rate must be positive");
+        assert!(self.bucket_bits >= 0.0, "bucket must be non-negative");
+
+        let mut cuts: Vec<f64> = vec![t0, t1];
+        cuts.extend(
+            f.breakpoints()
+                .iter()
+                .copied()
+                .filter(|&t| t > t0 && t < t1),
+        );
+        cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+        let mut tokens = self.bucket_bits;
+        let mut offered = 0.0;
+        let mut dropped = 0.0;
+        let mut min_tokens = tokens;
+
+        for w in cuts.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let mut dt = b - a;
+            if dt <= 0.0 {
+                continue;
+            }
+            let arr = f.value_at(0.5 * (a + b));
+            offered += arr * dt;
+            let net = self.rate_bps - arr; // token balance derivative
+            if net < 0.0 {
+                // Tokens draining: possibly hit empty mid-interval.
+                let to_empty = tokens / (-net);
+                if to_empty < dt {
+                    tokens = 0.0;
+                    dt -= to_empty;
+                    // Bucket dry: only ρ of the arrival conforms.
+                    dropped += (arr - self.rate_bps) * dt;
+                } else {
+                    tokens += net * dt;
+                }
+            } else {
+                tokens = (tokens + net * dt).min(self.bucket_bits);
+            }
+            min_tokens = min_tokens.min(tokens);
+        }
+
+        PoliceStats {
+            offered_bits: offered,
+            dropped_bits: dropped,
+            min_tokens,
+        }
+    }
+}
+
+/// The minimal burst tolerance σ for which a token bucket at rate ρ
+/// passes `f` over `[t0, t1]` without drops:
+/// `σ_min = sup_{s ≤ t} [A(t) − A(s) − ρ·(t − s)]`
+/// where `A` is the cumulative arrival function. Zero when ρ meets or
+/// exceeds the stream's peak rate.
+pub fn min_bucket_for(f: &StepFunction, rate_bps: f64, t0: f64, t1: f64) -> f64 {
+    assert!(rate_bps > 0.0, "token rate must be positive");
+    // g(t) = A(t) − ρ·t is piecewise linear with corners at breakpoints;
+    // σ_min = max_t [g(t) − min_{s ≤ t} g(s)].
+    let mut cuts: Vec<f64> = vec![t0, t1];
+    cuts.extend(
+        f.breakpoints()
+            .iter()
+            .copied()
+            .filter(|&t| t > t0 && t < t1),
+    );
+    cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+    let mut cum = 0.0f64;
+    let mut g_min = 0.0f64; // g(t0) = 0
+    let mut sigma = 0.0f64;
+    let mut t_prev = t0;
+    for &t in &cuts[1..] {
+        let arr = f.value_at(0.5 * (t_prev + t));
+        cum += arr * (t - t_prev);
+        let g = cum - rate_bps * (t - t0);
+        sigma = sigma.max(g - g_min);
+        g_min = g_min.min(g);
+        t_prev = t;
+    }
+    sigma
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smooth_core::RateSegment;
+
+    fn step(segs: &[(f64, f64, f64)]) -> StepFunction {
+        let segs: Vec<RateSegment> = segs
+            .iter()
+            .map(|&(s, e, r)| RateSegment {
+                start: s,
+                end: e,
+                rate: r,
+            })
+            .collect();
+        StepFunction::from_segments(&segs)
+    }
+
+    #[test]
+    fn constant_stream_needs_no_bucket_at_its_rate() {
+        let f = step(&[(0.0, 10.0, 2.0e6)]);
+        assert!(min_bucket_for(&f, 2.0e6, 0.0, 10.0) < 1e-6);
+        assert!(min_bucket_for(&f, 2.5e6, 0.0, 10.0) < 1e-6);
+        // Below the stream rate, the deficit accumulates linearly.
+        let sigma = min_bucket_for(&f, 1.5e6, 0.0, 10.0);
+        assert!((sigma - 0.5e6 * 10.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn burst_needs_exactly_its_excess() {
+        // 8 Mbps for 1 s then 1 Mbps for 7 s; ρ = 2 Mbps.
+        // Burst excess: (8-2) Mbit accumulated in the first second.
+        let f = step(&[(0.0, 1.0, 8.0e6), (1.0, 8.0, 1.0e6)]);
+        let sigma = min_bucket_for(&f, 2.0e6, 0.0, 8.0);
+        assert!((sigma - 6.0e6).abs() < 1.0, "{sigma}");
+    }
+
+    #[test]
+    fn police_at_min_bucket_never_drops() {
+        let f = step(&[(0.0, 1.0, 8.0e6), (1.0, 3.0, 1.0e6), (3.0, 4.0, 9.0e6)]);
+        for rho in [2.0e6, 3.0e6, 5.0e6] {
+            let sigma = min_bucket_for(&f, rho, 0.0, 4.0);
+            let ok = TokenBucket {
+                rate_bps: rho,
+                bucket_bits: sigma,
+            }
+            .police(&f, 0.0, 4.0);
+            assert!(
+                ok.dropped_bits < 1e-3,
+                "rho={rho}: dropped {}",
+                ok.dropped_bits
+            );
+            // Tightness: 10% less bucket drops something (when sigma > 0).
+            if sigma > 1.0 {
+                let tight = TokenBucket {
+                    rate_bps: rho,
+                    bucket_bits: 0.9 * sigma,
+                }
+                .police(&f, 0.0, 4.0);
+                assert!(
+                    tight.dropped_bits > 0.0,
+                    "rho={rho}: undersized bucket must drop"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sigma_monotone_decreasing_in_rho() {
+        let f = step(&[(0.0, 1.0, 8.0e6), (1.0, 3.0, 1.0e6), (3.0, 4.0, 9.0e6)]);
+        let sigmas: Vec<f64> = [1.5e6, 2.0e6, 4.0e6, 8.0e6]
+            .iter()
+            .map(|&r| min_bucket_for(&f, r, 0.0, 4.0))
+            .collect();
+        for w in sigmas.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "{sigmas:?}");
+        }
+        // At the peak rate, no bucket is needed.
+        assert!(min_bucket_for(&f, 9.0e6, 0.0, 4.0) < 1e-6);
+    }
+
+    #[test]
+    fn police_conserves_bits() {
+        let f = step(&[(0.0, 2.0, 6.0e6), (2.0, 4.0, 0.5e6)]);
+        let tb = TokenBucket {
+            rate_bps: 2.0e6,
+            bucket_bits: 1.0e6,
+        };
+        let stats = tb.police(&f, 0.0, 4.0);
+        assert!((stats.offered_bits - (12.0e6 + 1.0e6)).abs() < 1.0);
+        assert!(stats.dropped_bits >= 0.0 && stats.dropped_bits < stats.offered_bits);
+    }
+
+    #[test]
+    fn generous_bucket_passes_everything() {
+        let f = step(&[(0.0, 1.0, 10.0e6), (1.0, 2.0, 0.1e6)]);
+        let tb = TokenBucket {
+            rate_bps: 1.0e6,
+            bucket_bits: 1.0e9,
+        };
+        assert_eq!(tb.police(&f, 0.0, 2.0).drop_ratio(), 0.0);
+    }
+
+    #[test]
+    fn zero_bucket_passes_only_rho() {
+        let f = step(&[(0.0, 2.0, 5.0e6)]);
+        let tb = TokenBucket {
+            rate_bps: 2.0e6,
+            bucket_bits: 0.0,
+        };
+        let stats = tb.police(&f, 0.0, 2.0);
+        assert!(
+            (stats.dropped_bits - 6.0e6).abs() < 1.0,
+            "{}",
+            stats.dropped_bits
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "token rate must be positive")]
+    fn rejects_zero_rho() {
+        min_bucket_for(&step(&[(0.0, 1.0, 1.0)]), 0.0, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Transport packetization: from coded bytes to network packets and back.
+//!
+//! The paper studies smoothing *inside a transport protocol* (Figure 1)
+//! and discusses what bitstream damage does to a decoder (§2: resync at
+//! slice start codes). This module closes that loop for the whole
+//! workspace: a coded MPEG stream is cut into sequence-numbered packets,
+//! a lossy network drops some, the receiver reassembles what survives
+//! (zero-filling gaps, like a transport handing up a damaged elementary
+//! stream), and `smooth_mpeg::parse_stream` measures the slice-level
+//! damage — so a multiplexer's cell-loss ratio can be translated into
+//! "slices lost per second of video".
+
+use serde::{Deserialize, Serialize};
+use smooth_rng::Rng;
+use std::ops::Range;
+
+/// A transport packet: a sequence number and the byte range of the coded
+/// stream it carries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Sequence number (consecutive from 0).
+    pub seq: u32,
+    /// Byte range of the original stream.
+    pub range: Range<usize>,
+}
+
+/// Cuts a coded stream into packets of at most `mtu` payload bytes.
+///
+/// # Panics
+///
+/// Panics if `mtu == 0`.
+pub fn packetize(stream_len: usize, mtu: usize) -> Vec<Packet> {
+    assert!(mtu > 0, "mtu must be positive");
+    let mut packets = Vec::with_capacity(stream_len.div_ceil(mtu));
+    let mut seq = 0u32;
+    let mut at = 0usize;
+    while at < stream_len {
+        let end = (at + mtu).min(stream_len);
+        packets.push(Packet {
+            seq,
+            range: at..end,
+        });
+        seq += 1;
+        at = end;
+    }
+    packets
+}
+
+/// Reassembles the stream from the packets that survived, zero-filling
+/// the ranges of missing packets (the receiver knows the original length
+/// from framing). Surviving packets may arrive in any order.
+pub fn reassemble(stream_len: usize, survivors: &[Packet], original: &[u8]) -> Vec<u8> {
+    let mut out = vec![0u8; stream_len];
+    for p in survivors {
+        let range = p.range.start.min(stream_len)..p.range.end.min(stream_len);
+        out[range.clone()].copy_from_slice(&original[range]);
+    }
+    out
+}
+
+/// Outcome of pushing a stream through a lossy packet network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LossySessionReport {
+    /// Packets sent.
+    pub packets_sent: usize,
+    /// Packets dropped.
+    pub packets_lost: usize,
+    /// Byte ranges of the dropped packets (for content-damage
+    /// accounting: a coded unit whose payload intersects one of these is
+    /// corrupt even if its headers survive).
+    pub lost_ranges: Vec<Range<usize>>,
+    /// The damaged stream the receiver handed to the decoder.
+    pub received: Vec<u8>,
+}
+
+impl LossySessionReport {
+    /// Packet loss ratio.
+    pub fn loss_ratio(&self) -> f64 {
+        if self.packets_sent == 0 {
+            0.0
+        } else {
+            self.packets_lost as f64 / self.packets_sent as f64
+        }
+    }
+}
+
+/// Sends `stream` through a network dropping each packet independently
+/// with probability `loss_prob`.
+pub fn lossy_session(
+    stream: &[u8],
+    mtu: usize,
+    loss_prob: f64,
+    rng: &mut Rng,
+) -> LossySessionReport {
+    assert!(
+        (0.0..=1.0).contains(&loss_prob),
+        "loss probability {loss_prob} outside [0,1]"
+    );
+    let packets = packetize(stream.len(), mtu);
+    let sent = packets.len();
+    let mut survivors = Vec::with_capacity(sent);
+    let mut lost_ranges = Vec::new();
+    for p in packets {
+        if rng.next_f64() >= loss_prob {
+            survivors.push(p);
+        } else {
+            lost_ranges.push(p.range.clone());
+        }
+    }
+    LossySessionReport {
+        packets_sent: sent,
+        packets_lost: lost_ranges.len(),
+        received: reassemble(stream.len(), &survivors, stream),
+        lost_ranges,
+    }
+}
+
+/// Counts how many of `units` (byte ranges of coded elements, e.g.
+/// slices) intersect any lost range — the content-level damage a decoder
+/// would display even where the structure parses.
+pub fn units_damaged(units: &[Range<usize>], lost: &[Range<usize>]) -> usize {
+    units
+        .iter()
+        .filter(|u| lost.iter().any(|l| l.start < u.end && u.start < l.end))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packetize_covers_exactly() {
+        let packets = packetize(1000, 48);
+        assert_eq!(packets.len(), 21);
+        assert_eq!(packets[0].range, 0..48);
+        assert_eq!(packets.last().unwrap().range, 960..1000);
+        // Contiguous, non-overlapping, sequence-numbered.
+        for (i, w) in packets.windows(2).enumerate() {
+            assert_eq!(w[0].range.end, w[1].range.start);
+            assert_eq!(w[0].seq as usize, i);
+        }
+    }
+
+    #[test]
+    fn packetize_exact_multiple_and_empty() {
+        assert_eq!(packetize(96, 48).len(), 2);
+        assert!(packetize(0, 48).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "mtu must be positive")]
+    fn packetize_rejects_zero_mtu() {
+        packetize(10, 0);
+    }
+
+    #[test]
+    fn reassemble_identity_when_nothing_lost() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let packets = packetize(data.len(), 53);
+        assert_eq!(reassemble(data.len(), &packets, &data), data);
+    }
+
+    #[test]
+    fn reassemble_zero_fills_gaps_and_handles_reorder() {
+        let data: Vec<u8> = vec![0xAB; 200];
+        let mut packets = packetize(data.len(), 50);
+        packets.remove(1); // lose bytes 50..100
+        packets.reverse(); // arbitrary arrival order
+        let out = reassemble(data.len(), &packets, &data);
+        assert_eq!(&out[..50], &data[..50]);
+        assert!(out[50..100].iter().all(|&b| b == 0));
+        assert_eq!(&out[100..], &data[100..]);
+    }
+
+    #[test]
+    fn lossy_session_zero_loss_is_identity() {
+        let data: Vec<u8> = (0..1000).map(|i| (i % 251) as u8).collect();
+        let mut rng = Rng::seed_from_u64(1);
+        let r = lossy_session(&data, 188, 0.0, &mut rng);
+        assert_eq!(r.packets_lost, 0);
+        assert!(r.lost_ranges.is_empty());
+        assert_eq!(r.received, data);
+    }
+
+    #[test]
+    fn lossy_session_full_loss_zeroes_everything() {
+        let data = vec![0xFFu8; 500];
+        let mut rng = Rng::seed_from_u64(2);
+        let r = lossy_session(&data, 100, 1.0, &mut rng);
+        assert_eq!(r.packets_lost, r.packets_sent);
+        assert!(r.received.iter().all(|&b| b == 0));
+        assert!((r.loss_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lossy_session_rate_is_approximately_honored() {
+        let data = vec![1u8; 188 * 10_000];
+        let mut rng = Rng::seed_from_u64(3);
+        let r = lossy_session(&data, 188, 0.05, &mut rng);
+        let ratio = r.loss_ratio();
+        assert!((0.035..0.065).contains(&ratio), "{ratio}");
+    }
+}
+
+#[cfg(test)]
+mod damage_tests {
+    use super::*;
+
+    #[test]
+    fn units_damaged_counts_intersections() {
+        let units = vec![0..100, 100..200, 200..300];
+        let lost = vec![150..160, 295..320];
+        assert_eq!(units_damaged(&units, &lost), 2);
+        assert_eq!(units_damaged(&units, &[]), 0);
+        // Touching at the boundary (exclusive end) is not damage.
+        assert_eq!(units_damaged(&units, &[100..100]), 0);
+        assert_eq!(units_damaged(&[0..10], &[10..20]), 0);
+    }
+
+    #[test]
+    fn lost_ranges_cover_exactly_the_zeroed_bytes() {
+        let data = vec![7u8; 1000];
+        let mut rng = Rng::seed_from_u64(11);
+        let r = lossy_session(&data, 100, 0.3, &mut rng);
+        for range in &r.lost_ranges {
+            assert!(r.received[range.clone()].iter().all(|&b| b == 0));
+        }
+        let lost_bytes: usize = r.lost_ranges.iter().map(|x| x.len()).sum();
+        let zeroed = r.received.iter().filter(|&&b| b == 0).count();
+        assert_eq!(lost_bytes, zeroed);
+    }
+}

@@ -1,0 +1,211 @@
+//! Traces with time-varying GOP patterns.
+//!
+//! Models the encoder behaviour the paper notes in §4.4: "An MPEG encoder
+//! may change the values of M and N adaptively as the scene in a video
+//! sequence changes." An [`AdaptiveVideo`] carries a
+//! [`PatternSchedule`] instead of a single pattern; the smoothing side
+//! (`smooth_core::adaptive`) consumes it with a same-type size estimator.
+
+use crate::trace::TraceError;
+use serde::{Deserialize, Serialize};
+use smooth_mpeg::synth::{EncoderModel, SceneScript};
+use smooth_mpeg::{GopPattern, PatternSchedule, PatternSegment, PictureType, Resolution};
+use smooth_rng::Rng;
+
+/// A VBR trace whose GOP pattern changes over time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveVideo {
+    /// Human-readable name.
+    pub name: String,
+    /// The pattern schedule (last segment repeats).
+    pub schedule: PatternSchedule,
+    /// Spatial resolution.
+    pub resolution: Resolution,
+    /// Picture rate (pictures/second).
+    pub fps: f64,
+    /// Per-picture coded sizes in bits, display order.
+    pub sizes: Vec<u64>,
+}
+
+impl AdaptiveVideo {
+    /// Validates the trace (non-empty, positive sizes, sane rate).
+    pub fn validate(&self) -> Result<(), TraceError> {
+        if !(self.fps.is_finite() && self.fps > 0.0) {
+            return Err(TraceError::BadRate);
+        }
+        if self.sizes.is_empty() {
+            return Err(TraceError::Empty);
+        }
+        if let Some(index) = self.sizes.iter().position(|&s| s == 0) {
+            return Err(TraceError::ZeroSize { index });
+        }
+        Ok(())
+    }
+
+    /// Number of pictures.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// `true` if empty.
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// Picture period τ.
+    pub fn tau(&self) -> f64 {
+        1.0 / self.fps
+    }
+
+    /// Picture type at display index `i`.
+    pub fn type_of(&self, i: usize) -> PictureType {
+        self.schedule.type_at(i)
+    }
+}
+
+/// The driving video re-encoded by an *adaptive* encoder: the fast
+/// driving scenes use a short-GOP `(2, 6)` pattern (frequent reference
+/// pictures cope better with rapid motion), the low-motion close-up uses
+/// the efficient `(3, 9)` pattern. Segment lengths are whole numbers of
+/// GOPs, as a real encoder would switch.
+pub fn adaptive_driving() -> AdaptiveVideo {
+    adaptive_driving_with(300, 0xADA)
+}
+
+/// [`adaptive_driving`] with custom length and seed. The pattern switches
+/// at ~35% and ~65% of the sequence (snapped to GOP boundaries).
+pub fn adaptive_driving_with(pictures: usize, seed: u64) -> AdaptiveVideo {
+    let fast = GopPattern::new(2, 6).expect("static");
+    let slow = GopPattern::new(3, 9).expect("static");
+    // Segment lengths: multiples of the segment's own N.
+    let len1 = ((pictures as f64 * 0.35 / 6.0).round() as usize).max(1) * 6;
+    let len2 = ((pictures as f64 * 0.30 / 9.0).round() as usize).max(1) * 9;
+    let len3 = pictures.saturating_sub(len1 + len2).max(1);
+    let schedule = PatternSchedule::new(vec![
+        PatternSegment {
+            pictures: len1,
+            pattern: fast,
+        },
+        PatternSegment {
+            pictures: len2,
+            pattern: slow,
+        },
+        PatternSegment {
+            pictures: len3,
+            pattern: fast,
+        },
+    ])
+    .expect("segment lengths are GOP-aligned by construction");
+
+    // Per-segment content parameters mirror the driving script: fast
+    // scenes are complex and high-motion, the close-up is neither.
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut sizes = Vec::with_capacity(pictures);
+    for (seg_idx, (len, pattern, complexity, motion)) in [
+        (len1, fast, 1.10, 1.00),
+        (len2, slow, 0.80, 0.22),
+        (len3, fast, 1.10, 1.00),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let model = EncoderModel::new(Resolution::VGA, pattern);
+        let script = SceneScript::steady(len, complexity, motion);
+        let mut seg_sizes = model.encode_sizes(&script, &mut rng);
+        // Scene-change inflation across the segment boundary: the first
+        // predicted pictures after the cut predict poorly.
+        if seg_idx > 0 {
+            let mut boosted = 0;
+            for (off, s) in seg_sizes.iter_mut().enumerate() {
+                if pattern.type_at(off) != PictureType::I {
+                    *s = (*s as f64 * if boosted == 0 { 1.8 } else { 1.4 }) as u64;
+                    boosted += 1;
+                    if boosted == 2 {
+                        break;
+                    }
+                }
+            }
+        }
+        sizes.extend(seg_sizes);
+    }
+
+    let video = AdaptiveVideo {
+        name: "Driving-adaptive".into(),
+        schedule,
+        resolution: Resolution::VGA,
+        fps: 30.0,
+        sizes,
+    };
+    video.validate().expect("valid by construction");
+    video
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_declared_structure() {
+        let v = adaptive_driving();
+        assert_eq!(v.len(), 300);
+        assert_eq!(v.schedule.switch_points().len(), 2);
+        // Switch points land on I pictures of the new pattern.
+        for &sw in &v.schedule.switch_points() {
+            assert_eq!(
+                v.type_of(sw),
+                PictureType::I,
+                "switch at {sw} must start a GOP"
+            );
+        }
+        v.validate().unwrap();
+    }
+
+    #[test]
+    fn pattern_actually_changes() {
+        let v = adaptive_driving();
+        let switches = v.schedule.switch_points();
+        assert_eq!(v.schedule.n_at(0), 6);
+        assert_eq!(v.schedule.n_at(switches[0]), 9);
+        assert_eq!(v.schedule.n_at(switches[1]), 6);
+    }
+
+    #[test]
+    fn close_up_segment_is_cheaper() {
+        let v = adaptive_driving();
+        let switches = v.schedule.switch_points();
+        let mean = |range: std::ops::Range<usize>| {
+            let s: u64 = v.sizes[range.clone()].iter().sum();
+            s as f64 / range.len() as f64
+        };
+        let fast1 = mean(0..switches[0]);
+        let closeup = mean(switches[0] + 3..switches[1]); // skip boosted pictures
+        assert!(fast1 > 1.5 * closeup, "fast {fast1} vs close-up {closeup}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(adaptive_driving(), adaptive_driving());
+        assert_ne!(
+            adaptive_driving_with(300, 1).sizes,
+            adaptive_driving_with(300, 2).sizes
+        );
+    }
+
+    #[test]
+    fn custom_lengths() {
+        for n in [60, 150, 299] {
+            let v = adaptive_driving_with(n, 9);
+            assert_eq!(v.len(), n);
+            v.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn validation_catches_problems() {
+        let mut v = adaptive_driving_with(60, 1);
+        v.sizes[5] = 0;
+        assert_eq!(v.validate(), Err(TraceError::ZeroSize { index: 5 }));
+        v.sizes.clear();
+        assert_eq!(v.validate(), Err(TraceError::Empty));
+    }
+}

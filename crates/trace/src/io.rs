@@ -1,0 +1,314 @@
+//! Trace persistence: JSON (full fidelity) and CSV (interchange with
+//! plotting tools and the original trace-file tradition of the VBR video
+//! literature).
+//!
+//! CSV format, one row per picture in display order:
+//!
+//! ```csv
+//! index,type,bits
+//! 0,I,198000
+//! 1,B,21000
+//! ```
+//!
+//! CSV carries the pattern implicitly (via the `type` column, which is
+//! validated against the declared pattern on load) and the remaining
+//! metadata in `# key=value` comment lines.
+
+use crate::trace::{TraceError, VideoTrace};
+use smooth_mpeg::{GopPattern, Resolution};
+use std::fmt;
+use std::path::Path;
+
+/// Errors loading or saving traces.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// JSON (de)serialization error.
+    Json(serde_json::Error),
+    /// CSV syntax or semantic error.
+    Csv {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// The decoded trace failed validation.
+    Invalid(TraceError),
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "I/O error: {e}"),
+            TraceIoError::Json(e) => write!(f, "JSON error: {e}"),
+            TraceIoError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
+            TraceIoError::Invalid(e) => write!(f, "invalid trace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceIoError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceIoError::Json(e)
+    }
+}
+
+impl From<TraceError> for TraceIoError {
+    fn from(e: TraceError) -> Self {
+        TraceIoError::Invalid(e)
+    }
+}
+
+/// Saves a trace as pretty-printed JSON.
+pub fn save_json(trace: &VideoTrace, path: impl AsRef<Path>) -> Result<(), TraceIoError> {
+    let json = serde_json::to_string_pretty(trace)?;
+    std::fs::write(path, json)?;
+    Ok(())
+}
+
+/// Loads and validates a JSON trace.
+pub fn load_json(path: impl AsRef<Path>) -> Result<VideoTrace, TraceIoError> {
+    let text = std::fs::read_to_string(path)?;
+    let trace: VideoTrace = serde_json::from_str(&text)?;
+    trace.validate()?;
+    Ok(trace)
+}
+
+/// Renders a trace to CSV (see module docs for the format).
+pub fn to_csv(trace: &VideoTrace) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# name={}\n", trace.name));
+    out.push_str(&format!("# pattern={}\n", trace.pattern));
+    out.push_str(&format!(
+        "# resolution={}x{}\n",
+        trace.resolution.width, trace.resolution.height
+    ));
+    out.push_str(&format!("# fps={}\n", trace.fps));
+    out.push_str("index,type,bits\n");
+    for (i, &bits) in trace.sizes.iter().enumerate() {
+        out.push_str(&format!("{},{},{}\n", i, trace.type_of(i), bits));
+    }
+    out
+}
+
+/// Parses a CSV trace produced by [`to_csv`].
+pub fn from_csv(text: &str) -> Result<VideoTrace, TraceIoError> {
+    let mut name = String::from("unnamed");
+    let mut pattern: Option<GopPattern> = None;
+    let mut resolution = Resolution::SIF;
+    let mut fps = 30.0f64;
+    let mut sizes: Vec<u64> = Vec::new();
+    let mut header_seen = false;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim();
+            if let Some((key, value)) = comment.split_once('=') {
+                match key.trim() {
+                    "name" => name = value.trim().to_string(),
+                    "pattern" => {
+                        pattern = Some(GopPattern::parse(value.trim()).map_err(|e| {
+                            TraceIoError::Csv {
+                                line: line_no,
+                                message: format!("bad pattern: {e}"),
+                            }
+                        })?)
+                    }
+                    "resolution" => {
+                        let (w, h) = value.trim().split_once('x').ok_or(TraceIoError::Csv {
+                            line: line_no,
+                            message: "resolution must be WxH".into(),
+                        })?;
+                        let width: u16 = w.parse().map_err(|_| TraceIoError::Csv {
+                            line: line_no,
+                            message: format!("bad width {w:?}"),
+                        })?;
+                        let height: u16 = h.parse().map_err(|_| TraceIoError::Csv {
+                            line: line_no,
+                            message: format!("bad height {h:?}"),
+                        })?;
+                        resolution = Resolution::new(width, height);
+                    }
+                    "fps" => {
+                        fps = value.trim().parse().map_err(|_| TraceIoError::Csv {
+                            line: line_no,
+                            message: format!("bad fps {value:?}"),
+                        })?
+                    }
+                    _ => {} // unknown metadata: ignore, forward compatible
+                }
+            }
+            continue;
+        }
+        if !header_seen {
+            if line != "index,type,bits" {
+                return Err(TraceIoError::Csv {
+                    line: line_no,
+                    message: format!("expected header 'index,type,bits', found {line:?}"),
+                });
+            }
+            header_seen = true;
+            continue;
+        }
+        let mut fields = line.split(',');
+        let (Some(index_s), Some(type_s), Some(bits_s), None) =
+            (fields.next(), fields.next(), fields.next(), fields.next())
+        else {
+            return Err(TraceIoError::Csv {
+                line: line_no,
+                message: "expected 3 fields".into(),
+            });
+        };
+        let index: usize = index_s.trim().parse().map_err(|_| TraceIoError::Csv {
+            line: line_no,
+            message: format!("bad index {index_s:?}"),
+        })?;
+        if index != sizes.len() {
+            return Err(TraceIoError::Csv {
+                line: line_no,
+                message: format!("index {index} out of order (expected {})", sizes.len()),
+            });
+        }
+        let bits: u64 = bits_s.trim().parse().map_err(|_| TraceIoError::Csv {
+            line: line_no,
+            message: format!("bad bits {bits_s:?}"),
+        })?;
+        if let Some(pat) = &pattern {
+            let declared = type_s.trim();
+            let expected = pat.type_at(index).to_string();
+            if declared != expected {
+                return Err(TraceIoError::Csv {
+                    line: line_no,
+                    message: format!(
+                        "picture {index} declared type {declared} but pattern {pat} implies {expected}"
+                    ),
+                });
+            }
+        }
+        sizes.push(bits);
+    }
+
+    let pattern = pattern.ok_or(TraceIoError::Csv {
+        line: 0,
+        message: "missing '# pattern=' metadata line".into(),
+    })?;
+    Ok(VideoTrace::new(name, pattern, resolution, fps, sizes)?)
+}
+
+/// Saves a trace as CSV.
+pub fn save_csv(trace: &VideoTrace, path: impl AsRef<Path>) -> Result<(), TraceIoError> {
+    std::fs::write(path, to_csv(trace))?;
+    Ok(())
+}
+
+/// Loads and validates a CSV trace.
+pub fn load_csv(path: impl AsRef<Path>) -> Result<VideoTrace, TraceIoError> {
+    from_csv(&std::fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequences::{backyard, driving1};
+
+    #[test]
+    fn csv_roundtrip() {
+        for t in [driving1(), backyard()] {
+            let csv = to_csv(&t);
+            let back = from_csv(&csv).unwrap();
+            assert_eq!(back, t);
+        }
+    }
+
+    #[test]
+    fn json_file_roundtrip() {
+        let dir = std::env::temp_dir().join("smooth_trace_test_json");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("driving1.json");
+        let t = driving1();
+        save_json(&t, &path).unwrap();
+        let back = load_json(&path).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn csv_file_roundtrip() {
+        let dir = std::env::temp_dir().join("smooth_trace_test_csv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("backyard.csv");
+        let t = backyard();
+        save_csv(&t, &path).unwrap();
+        let back = load_csv(&path).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn csv_rejects_type_mismatch() {
+        let csv = "# pattern=IBBPBBPBB\nindex,type,bits\n0,B,1000\n";
+        let err = from_csv(csv).unwrap_err();
+        assert!(matches!(err, TraceIoError::Csv { line: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn csv_rejects_out_of_order_index() {
+        let csv = "# pattern=IBBPBBPBB\nindex,type,bits\n1,B,1000\n";
+        assert!(matches!(
+            from_csv(csv),
+            Err(TraceIoError::Csv { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn csv_requires_pattern() {
+        let csv = "index,type,bits\n0,I,1000\n";
+        let err = from_csv(csv).unwrap_err();
+        assert!(matches!(err, TraceIoError::Csv { line: 0, .. }));
+    }
+
+    #[test]
+    fn csv_rejects_bad_header() {
+        let csv = "# pattern=IBBPBBPBB\npicture,kind,size\n";
+        assert!(matches!(
+            from_csv(csv),
+            Err(TraceIoError::Csv { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn csv_rejects_zero_size_via_validation() {
+        let csv = "# pattern=I\nindex,type,bits\n0,I,0\n";
+        assert!(matches!(
+            from_csv(csv),
+            Err(TraceIoError::Invalid(TraceError::ZeroSize { index: 0 }))
+        ));
+    }
+
+    #[test]
+    fn csv_ignores_unknown_metadata_and_blank_lines() {
+        let csv = "# pattern=I\n# curator=someone\n\nindex,type,bits\n0,I,800\n\n";
+        let t = from_csv(csv).unwrap();
+        assert_eq!(t.sizes, vec![800]);
+    }
+
+    #[test]
+    fn load_json_missing_file_errors() {
+        assert!(matches!(
+            load_json("/nonexistent/x.json"),
+            Err(TraceIoError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,32 @@
+//! # smooth-trace
+//!
+//! VBR video traces for the `mpeg-smooth` workspace: the [`VideoTrace`]
+//! interchange type, synthetic regenerations of the paper's four MPEG
+//! sequences ([`sequences`]), descriptive statistics ([`stats`]), and
+//! JSON/CSV persistence ([`io`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use smooth_trace::sequences::driving1;
+//!
+//! let trace = driving1();
+//! assert_eq!(trace.pattern.to_string(), "IBBPBBPBB");
+//! // The burstiness the smoothing algorithm exists to remove:
+//! assert!(trace.peak_picture_rate_bps() > 3.0 * trace.mean_rate_bps());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adaptive;
+pub mod io;
+pub mod sequences;
+pub mod stats;
+pub mod trace;
+
+pub use adaptive::{adaptive_driving, adaptive_driving_with, AdaptiveVideo};
+pub use io::{from_csv, load_csv, load_json, save_csv, save_json, to_csv, TraceIoError};
+pub use sequences::{backyard, driving1, driving2, generate, paper_sequences, tennis, SequenceId};
+pub use stats::{analyze, autocorrelation, TraceStats, TypeStats};
+pub use trace::{TraceError, VideoTrace};

@@ -1,0 +1,552 @@
+//! The four MPEG video sequences of the paper's evaluation (§5.1),
+//! regenerated synthetically.
+//!
+//! The authors' per-picture statistics were never published; each builder
+//! here reconstructs a sequence from the paper's prose description via the
+//! calibrated encoder model in [`smooth_mpeg::synth`] (see DESIGN.md §2
+//! for the substitution argument). All sequences run at 30 pictures/s.
+//!
+//! | Sequence | Pattern (M, N) | Resolution | Content |
+//! |----------|----------------|------------|---------|
+//! | Driving1 | (3, 9)  | 640×480 | fast car → driver close-up → fast car |
+//! | Driving2 | (2, 6)  | 640×480 | same video, different coding pattern |
+//! | Tennis   | (3, 9)  | 640×480 | no cuts; motion ramps as instructor rises; 2 isolated large Ps |
+//! | Backyard | (3, 12) | 352×288 | detailed backgrounds, mild motion, two cuts |
+
+use crate::trace::VideoTrace;
+use smooth_mpeg::synth::{EncoderModel, ScenePhase, SceneScript, SizeEvent};
+use smooth_mpeg::{GopPattern, QuantizerSet, Resolution};
+use smooth_rng::Rng;
+
+/// Default length of the VGA sequences, in pictures (10 s at 30 pic/s —
+/// the span of the paper's Figures 3–5).
+pub const DEFAULT_VGA_PICTURES: usize = 300;
+
+/// Default length of Backyard (12 s; N = 12 needs a little longer to show
+/// the same number of patterns).
+pub const DEFAULT_BACKYARD_PICTURES: usize = 360;
+
+/// Splits `total` into parts proportional to `fractions`; the last part
+/// absorbs rounding remainder.
+fn split(total: usize, fractions: &[f64]) -> Vec<usize> {
+    debug_assert!((fractions.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    let mut parts: Vec<usize> = fractions
+        .iter()
+        .map(|f| (f * total as f64).round() as usize)
+        .collect();
+    let assigned: usize = parts.iter().take(parts.len() - 1).sum();
+    if let Some(last) = parts.last_mut() {
+        *last = total - assigned;
+    }
+    parts
+}
+
+/// The driving video: a car moving very fast in the countryside, a cut to
+/// a close-up of the driver, and a cut back (two scene changes). Shared
+/// content model for Driving1 and Driving2.
+fn driving_script(pictures: usize) -> SceneScript {
+    let parts = split(pictures, &[0.35, 0.30, 0.35]);
+    SceneScript {
+        phases: vec![
+            // Fast pan across a detailed countryside: high complexity and
+            // near-maximal motion.
+            ScenePhase::steady(parts[0], 1.10, 1.00),
+            // Close-up of the driver: simpler image, little motion -> the
+            // paper notes P and B pictures shrink sharply here.
+            ScenePhase::steady(parts[1], 0.80, 0.22),
+            // Back to the car.
+            ScenePhase::steady(parts[2], 1.10, 1.00),
+        ],
+        events: vec![],
+    }
+}
+
+fn build(
+    name: &str,
+    resolution: Resolution,
+    pattern: GopPattern,
+    quantizers: Option<QuantizerSet>,
+    script: &SceneScript,
+    seed: u64,
+) -> VideoTrace {
+    let mut model = EncoderModel::new(resolution, pattern);
+    if let Some(q) = quantizers {
+        model.quantizers = q.into();
+    }
+    let sizes = model.encode_sizes(script, &mut Rng::seed_from_u64(seed));
+    VideoTrace::new(name, pattern, resolution, 30.0, sizes)
+        .expect("synthetic sequences are valid by construction")
+}
+
+/// Driving1: the driving video at `N = 9, M = 3` (pattern `IBBPBBPBB`),
+/// 640×480.
+pub fn driving1() -> VideoTrace {
+    driving1_with(DEFAULT_VGA_PICTURES)
+}
+
+/// Driving1 with a custom length.
+pub fn driving1_with(pictures: usize) -> VideoTrace {
+    build(
+        "Driving1",
+        Resolution::VGA,
+        GopPattern::new(3, 9).expect("static pattern"),
+        None,
+        &driving_script(pictures),
+        0xD1,
+    )
+}
+
+/// Driving2: the *same video* encoded with `N = 6, M = 2` (pattern
+/// `IBPBPB`), 640×480 — the paper re-encodes Driving to study pattern
+/// dependence.
+pub fn driving2() -> VideoTrace {
+    driving2_with(DEFAULT_VGA_PICTURES)
+}
+
+/// Driving2 with a custom length.
+pub fn driving2_with(pictures: usize) -> VideoTrace {
+    build(
+        "Driving2",
+        Resolution::VGA,
+        GopPattern::new(2, 6).expect("static pattern"),
+        None,
+        &driving_script(pictures),
+        0xD1, // same seed as Driving1: same underlying video content
+    )
+}
+
+/// Tennis: an instructor lectures sitting down, then gets up and moves
+/// away. No scene change; motion (and with it P/B sizes) grows gradually.
+/// Two isolated large P pictures occur in the first half. `N = 9, M = 3`,
+/// 640×480.
+pub fn tennis() -> VideoTrace {
+    tennis_with(DEFAULT_VGA_PICTURES)
+}
+
+/// The tennis content model: no cuts, a gradual motion ramp as the
+/// instructor rises, and two isolated large-P events in the first half
+/// (snapped onto P slots of the (3, 9) pattern).
+fn tennis_script(pictures: usize) -> SceneScript {
+    let parts = split(pictures, &[0.5, 0.5]);
+    // Snap an index to the nearest P slot of the (3, 9) pattern at or
+    // after it (indices ≡ 3 or 6 mod 9).
+    let snap_to_p = |i: usize| -> usize {
+        (i..i + 9)
+            .find(|j| j % 9 == 3 || j % 9 == 6)
+            .expect("a P occurs every <= 6 pictures")
+    };
+    SceneScript {
+        phases: vec![
+            // Sitting and lecturing: detailed court background (complex),
+            // very little motion, creeping up slightly.
+            ScenePhase::ramp(parts[0], 1.30, 0.10, 0.22),
+            // He gets up and moves away: motion ramps up steadily.
+            // Continuous: same scene, no cut.
+            ScenePhase::ramp(parts[1], 1.30, 0.22, 0.95).continuous(),
+        ],
+        events: vec![
+            SizeEvent {
+                picture: snap_to_p(pictures / 5),
+                factor: 2.3,
+            },
+            SizeEvent {
+                picture: snap_to_p(pictures * 7 / 20),
+                factor: 2.1,
+            },
+        ],
+    }
+}
+
+/// Tennis with a custom length.
+pub fn tennis_with(pictures: usize) -> VideoTrace {
+    build(
+        "Tennis",
+        Resolution::VGA,
+        GopPattern::new(3, 9).expect("static pattern"),
+        None,
+        &tennis_script(pictures),
+        0x7E,
+    )
+}
+
+/// Backyard: a person in a backyard, a cut to two other people elsewhere
+/// in the yard, and a cut back. Complex, detailed backgrounds; movement
+/// but no rapid motion. `N = 12, M = 3`, 352×288.
+///
+/// Encoded with finer quantizers (3/4/8) than the VGA sequences — at CIF
+/// resolution the bit budget allows it — which places its maximum
+/// smoothed rate near the paper's reported ≈1.5 Mbps.
+pub fn backyard() -> VideoTrace {
+    backyard_with(DEFAULT_BACKYARD_PICTURES)
+}
+
+/// The backyard content model: detailed backgrounds, mild motion, and
+/// two cuts (person -> two people elsewhere -> back).
+fn backyard_script(pictures: usize) -> SceneScript {
+    let parts = split(pictures, &[0.36, 0.31, 0.33]);
+    SceneScript {
+        phases: vec![
+            ScenePhase::steady(parts[0], 1.25, 0.45),
+            ScenePhase::steady(parts[1], 1.30, 0.50),
+            ScenePhase::steady(parts[2], 1.25, 0.45),
+        ],
+        events: vec![],
+    }
+}
+
+/// The finer quantizers Backyard is encoded with (see [`backyard`]).
+fn backyard_quantizers() -> QuantizerSet {
+    QuantizerSet { i: 3, p: 4, b: 8 }
+}
+
+/// Backyard with a custom length.
+pub fn backyard_with(pictures: usize) -> VideoTrace {
+    build(
+        "Backyard",
+        Resolution::CIF,
+        GopPattern::new(3, 12).expect("static pattern"),
+        Some(backyard_quantizers()),
+        &backyard_script(pictures),
+        0xBA,
+    )
+}
+
+/// All four paper sequences at their default lengths, in the paper's
+/// order.
+pub fn paper_sequences() -> Vec<VideoTrace> {
+    vec![driving1(), driving2(), tennis(), backyard()]
+}
+
+/// Identifies one of the four paper sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SequenceId {
+    /// The driving video at `(M, N) = (3, 9)`.
+    Driving1,
+    /// The driving video at `(M, N) = (2, 6)`.
+    Driving2,
+    /// The tennis-instructor video.
+    Tennis,
+    /// The backyard video at CIF resolution.
+    Backyard,
+}
+
+impl SequenceId {
+    /// All four, in the paper's order.
+    pub const ALL: [SequenceId; 4] = [
+        SequenceId::Driving1,
+        SequenceId::Driving2,
+        SequenceId::Tennis,
+        SequenceId::Backyard,
+    ];
+}
+
+/// Generates a *variant* of a paper sequence with a custom length and
+/// encoder-noise seed: the same scene script and calibration, but
+/// statistically independent picture-level jitter. This is how the
+/// multiplexing experiments build ensembles of "different recordings of
+/// similar content" feeding one switch.
+pub fn generate(id: SequenceId, pictures: usize, seed: u64) -> VideoTrace {
+    match id {
+        SequenceId::Driving1 => build(
+            "Driving1",
+            Resolution::VGA,
+            GopPattern::new(3, 9).expect("static pattern"),
+            None,
+            &driving_script(pictures),
+            seed,
+        ),
+        SequenceId::Driving2 => build(
+            "Driving2",
+            Resolution::VGA,
+            GopPattern::new(2, 6).expect("static pattern"),
+            None,
+            &driving_script(pictures),
+            seed,
+        ),
+        SequenceId::Tennis => build(
+            "Tennis",
+            Resolution::VGA,
+            GopPattern::new(3, 9).expect("static pattern"),
+            None,
+            &tennis_script(pictures),
+            seed,
+        ),
+        SequenceId::Backyard => build(
+            "Backyard",
+            Resolution::CIF,
+            GopPattern::new(3, 12).expect("static pattern"),
+            Some(backyard_quantizers()),
+            &backyard_script(pictures),
+            seed,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smooth_mpeg::PictureType;
+
+    fn mean(xs: &[u64]) -> f64 {
+        xs.iter().sum::<u64>() as f64 / xs.len() as f64
+    }
+
+    #[test]
+    fn all_sequences_are_valid_and_deterministic() {
+        for t in paper_sequences() {
+            t.validate().unwrap();
+            assert!((t.fps - 30.0).abs() < 1e-12);
+        }
+        assert_eq!(driving1(), driving1());
+        assert_eq!(tennis().sizes, tennis().sizes);
+    }
+
+    #[test]
+    fn driving1_matches_paper_description() {
+        let t = driving1();
+        assert_eq!(t.pattern.to_string(), "IBBPBBPBB");
+        assert_eq!(t.resolution, Resolution::VGA);
+        assert_eq!(t.len(), 300);
+
+        // I sizes in the 150k-290k range (Figure 3 shows ~150k-250k, and
+        // §3.1 measured a 282,976-bit I picture).
+        let i_sizes = t.sizes_of_type(PictureType::I);
+        for &s in &i_sizes {
+            assert!((120_000..300_000).contains(&s), "I size {s}");
+        }
+
+        // I is roughly an order of magnitude above B overall (§1).
+        let b_sizes = t.sizes_of_type(PictureType::B);
+        let ratio = mean(&i_sizes) / mean(&b_sizes);
+        assert!(ratio > 5.0, "I/B mean ratio {ratio}");
+
+        // Smoothed (pattern) rates span roughly 1-3 Mbps (§5.2).
+        let rates = t.pattern_rates_bps();
+        let max = rates.iter().cloned().fold(0.0, f64::max);
+        let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!((2.0e6..3.4e6).contains(&max), "max smoothed rate {max}");
+        assert!((0.8e6..1.6e6).contains(&min), "min smoothed rate {min}");
+        // "(smoothed) output rates from one scene to the next differ by
+        // about a factor of 3 in the worst case" (§1) - allow 1.5-3.5.
+        let factor = max / min;
+        assert!((1.5..3.5).contains(&factor), "scene rate factor {factor}");
+    }
+
+    #[test]
+    fn driving1_close_up_shrinks_p_and_b() {
+        let t = driving1();
+        // Scene 2 occupies pictures 105..195.
+        let p_driving: Vec<u64> = (0..105)
+            .filter(|i| t.type_of(*i) == PictureType::P)
+            .map(|i| t.sizes[i])
+            .collect();
+        let p_closeup: Vec<u64> = (110..190)
+            .filter(|i| t.type_of(*i) == PictureType::P)
+            .map(|i| t.sizes[i])
+            .collect();
+        assert!(
+            mean(&p_driving) > 2.0 * mean(&p_closeup),
+            "P pictures in the driving scene must dwarf close-up Ps: {} vs {}",
+            mean(&p_driving),
+            mean(&p_closeup)
+        );
+        let b_driving: Vec<u64> = (0..105)
+            .filter(|i| t.type_of(*i) == PictureType::B)
+            .map(|i| t.sizes[i])
+            .collect();
+        let b_closeup: Vec<u64> = (110..190)
+            .filter(|i| t.type_of(*i) == PictureType::B)
+            .map(|i| t.sizes[i])
+            .collect();
+        assert!(mean(&b_driving) > 2.0 * mean(&b_closeup));
+    }
+
+    #[test]
+    fn driving2_same_video_different_pattern() {
+        let t = driving2();
+        assert_eq!(t.pattern.to_string(), "IBPBPB");
+        assert_eq!(t.len(), 300);
+        // Same content: long-run mean rates of the two encodes are within
+        // 35% of each other (different pattern mixes shift the average).
+        let r1 = driving1().mean_rate_bps();
+        let r2 = t.mean_rate_bps();
+        assert!(
+            (r1 / r2 - 1.0).abs() < 0.35,
+            "Driving1 {r1} vs Driving2 {r2}"
+        );
+    }
+
+    #[test]
+    fn tennis_matches_paper_description() {
+        let t = tennis();
+        assert_eq!(t.pattern.to_string(), "IBBPBBPBB");
+        assert_eq!(t.len(), 300);
+
+        // No scene change: I sizes stay in a narrow band throughout.
+        let i_sizes = t.sizes_of_type(PictureType::I);
+        let i_min = *i_sizes.iter().min().unwrap() as f64;
+        let i_max = *i_sizes.iter().max().unwrap() as f64;
+        assert!(
+            i_max / i_min < 1.6,
+            "I sizes should be steady: {i_min}..{i_max}"
+        );
+
+        // Gradual motion growth: mean P size in the last third well above
+        // the first third.
+        let p_first: Vec<u64> = (0..100)
+            .filter(|i| t.type_of(*i) == PictureType::P)
+            .map(|i| t.sizes[i])
+            .collect();
+        let p_last: Vec<u64> = (200..300)
+            .filter(|i| t.type_of(*i) == PictureType::P)
+            .map(|i| t.sizes[i])
+            .collect();
+        assert!(mean(&p_last) > 1.8 * mean(&p_first));
+
+        // Two isolated large P pictures in the first half: find P-slot
+        // outliers > 1.7x their neighbors' median.
+        let spikes: Vec<usize> = (0..150)
+            .filter(|&i| t.type_of(i) == PictureType::P)
+            .filter(|&i| {
+                let neighborhood: Vec<u64> = (i.saturating_sub(18)..(i + 18).min(150))
+                    .filter(|&j| t.type_of(j) == PictureType::P && j != i)
+                    .map(|j| t.sizes[j])
+                    .collect();
+                t.sizes[i] as f64 > 1.7 * mean(&neighborhood)
+            })
+            .collect();
+        assert_eq!(
+            spikes.len(),
+            2,
+            "expected exactly 2 isolated large Ps, got {spikes:?}"
+        );
+    }
+
+    #[test]
+    fn backyard_matches_paper_description() {
+        let t = backyard();
+        assert_eq!(t.pattern.to_string(), "IBBPBBPBBPBB");
+        assert_eq!(t.resolution, Resolution::CIF);
+        assert_eq!(t.len(), 360);
+
+        // Maximum smoothed rate about 1.5 Mbps (§5.2), i.e. roughly half
+        // of the VGA sequences' ~3 Mbps.
+        let rates = t.pattern_rates_bps();
+        let max = rates.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            (1.0e6..1.8e6).contains(&max),
+            "Backyard max smoothed rate {max}"
+        );
+        let vga_max = driving1()
+            .pattern_rates_bps()
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max);
+        let ratio = vga_max / max;
+        assert!(
+            (1.4..2.8).contains(&ratio),
+            "VGA/CIF max rate ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn backyard_is_easiest_to_smooth() {
+        // §5.2: "The Backyard sequence appears to be the easiest to
+        // smooth." Proxy: lowest coefficient of variation of pattern
+        // rates among the four sequences.
+        let cv = |t: &VideoTrace| {
+            let r = t.pattern_rates_bps();
+            let m = r.iter().sum::<f64>() / r.len() as f64;
+            let var = r.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / r.len() as f64;
+            var.sqrt() / m
+        };
+        let backyard_cv = cv(&backyard());
+        for t in [driving1(), driving2(), tennis()] {
+            assert!(
+                backyard_cv < cv(&t),
+                "Backyard CV {backyard_cv} should be below {} ({})",
+                cv(&t),
+                t.name
+            );
+        }
+    }
+
+    #[test]
+    fn custom_lengths() {
+        for n in [60, 150, 301] {
+            assert_eq!(driving1_with(n).len(), n);
+            assert_eq!(driving2_with(n).len(), n);
+            assert_eq!(tennis_with(n).len(), n);
+            assert_eq!(backyard_with(n).len(), n);
+        }
+    }
+
+    #[test]
+    fn tennis_events_land_on_p_slots() {
+        for n in [120, 300, 600] {
+            let t = tennis_with(n);
+            // Recompute the snapped event indices the builder used.
+            let snap = |i: usize| (i..i + 9).find(|j| j % 9 == 3 || j % 9 == 6).unwrap();
+            for idx in [snap(n / 5), snap(n * 7 / 20)] {
+                assert_eq!(
+                    t.type_of(idx),
+                    PictureType::P,
+                    "event at {idx} not a P (n={n})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_is_exact() {
+        assert_eq!(split(300, &[0.35, 0.30, 0.35]), vec![105, 90, 105]);
+        let parts = split(301, &[0.35, 0.30, 0.35]);
+        assert_eq!(parts.iter().sum::<usize>(), 301);
+        let parts = split(7, &[0.5, 0.5]);
+        assert_eq!(parts.iter().sum::<usize>(), 7);
+    }
+
+    #[test]
+    fn unsmoothed_peak_needs_over_6mbps() {
+        // §1: "Transmitting the I picture in 1/30 second over a network
+        // would require a transmission capacity of 6 Mbps".
+        let t = driving1();
+        assert!(
+            t.peak_picture_rate_bps() > 6.0e6,
+            "{}",
+            t.peak_picture_rate_bps()
+        );
+    }
+}
+
+#[cfg(test)]
+mod generate_tests {
+    use super::*;
+
+    #[test]
+    fn generate_matches_canonical_with_canonical_seed() {
+        assert_eq!(generate(SequenceId::Driving1, 300, 0xD1), driving1());
+        assert_eq!(generate(SequenceId::Driving2, 300, 0xD1), driving2());
+        assert_eq!(generate(SequenceId::Tennis, 300, 0x7E), tennis());
+        assert_eq!(generate(SequenceId::Backyard, 360, 0xBA), backyard());
+    }
+
+    #[test]
+    fn seed_variants_share_shape_but_not_noise() {
+        let a = generate(SequenceId::Driving1, 300, 1);
+        let b = generate(SequenceId::Driving1, 300, 2);
+        assert_ne!(a.sizes, b.sizes, "different seeds must differ");
+        // Same calibration: mean rates within a few percent.
+        let ratio = a.mean_rate_bps() / b.mean_rate_bps();
+        assert!((ratio - 1.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn all_ids_generate_valid_traces() {
+        for id in SequenceId::ALL {
+            let t = generate(id, 120, 7);
+            t.validate().unwrap();
+            assert_eq!(t.len(), 120);
+        }
+    }
+}

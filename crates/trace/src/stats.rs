@@ -1,0 +1,241 @@
+//! Descriptive statistics of a trace, per picture type and overall.
+//!
+//! This is what the paper's Figure 3 visualizes: the size structure of a
+//! sequence. The experiment harness prints these tables for `fig3`.
+
+use crate::trace::VideoTrace;
+use serde::{Deserialize, Serialize};
+use smooth_mpeg::PictureType;
+
+/// Summary statistics of one set of picture sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TypeStats {
+    /// Number of pictures.
+    pub count: usize,
+    /// Smallest size in bits.
+    pub min: u64,
+    /// Largest size in bits.
+    pub max: u64,
+    /// Mean size in bits.
+    pub mean: f64,
+    /// Population standard deviation in bits.
+    pub std_dev: f64,
+}
+
+impl TypeStats {
+    /// Computes stats over `sizes`; all-zero stats for an empty slice.
+    pub fn of(sizes: &[u64]) -> TypeStats {
+        if sizes.is_empty() {
+            return TypeStats {
+                count: 0,
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+            };
+        }
+        let count = sizes.len();
+        let min = *sizes.iter().min().expect("non-empty");
+        let max = *sizes.iter().max().expect("non-empty");
+        let mean = sizes.iter().sum::<u64>() as f64 / count as f64;
+        let var = sizes
+            .iter()
+            .map(|&s| (s as f64 - mean).powi(2))
+            .sum::<f64>()
+            / count as f64;
+        TypeStats {
+            count,
+            min,
+            max,
+            mean,
+            std_dev: var.sqrt(),
+        }
+    }
+}
+
+/// Full per-type breakdown of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// I-picture statistics.
+    pub i: TypeStats,
+    /// P-picture statistics.
+    pub p: TypeStats,
+    /// B-picture statistics.
+    pub b: TypeStats,
+    /// All pictures together.
+    pub overall: TypeStats,
+    /// Long-run mean bit rate (bits/s).
+    pub mean_rate_bps: f64,
+    /// Peak unsmoothed single-picture rate (bits/s).
+    pub peak_rate_bps: f64,
+    /// Peak-to-mean rate ratio — the burstiness smoothing removes.
+    pub peak_to_mean: f64,
+}
+
+/// Autocorrelation of the picture-size sequence at the given lags.
+///
+/// The canonical characterization of MPEG VBR traffic in the ATM
+/// literature (\[11\] and successors): strong periodic peaks at multiples
+/// of `N` (the I pictures recur) and of `M` (the references recur), which
+/// is exactly the structure the smoothing algorithm's `S_j ≈ S_{j−N}`
+/// estimator exploits.
+///
+/// Returns `(lag, r(lag))` pairs; `r(0) = 1`. Lags at or beyond the trace
+/// length are skipped. A zero-variance trace yields `r = 0` at all
+/// positive lags.
+pub fn autocorrelation(trace: &VideoTrace, lags: &[usize]) -> Vec<(usize, f64)> {
+    let xs: Vec<f64> = trace.sizes.iter().map(|&s| s as f64).collect();
+    let n = xs.len();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+    lags.iter()
+        .copied()
+        .filter(|&lag| lag < n)
+        .map(|lag| {
+            if lag == 0 {
+                return (0, 1.0);
+            }
+            if var <= 0.0 {
+                return (lag, 0.0);
+            }
+            let cov = (0..n - lag)
+                .map(|i| (xs[i] - mean) * (xs[i + lag] - mean))
+                .sum::<f64>()
+                / (n - lag) as f64;
+            (lag, cov / var)
+        })
+        .collect()
+}
+
+/// Analyzes a trace.
+pub fn analyze(trace: &VideoTrace) -> TraceStats {
+    let i = TypeStats::of(&trace.sizes_of_type(PictureType::I));
+    let p = TypeStats::of(&trace.sizes_of_type(PictureType::P));
+    let b = TypeStats::of(&trace.sizes_of_type(PictureType::B));
+    let overall = TypeStats::of(&trace.sizes);
+    let mean_rate_bps = trace.mean_rate_bps();
+    let peak_rate_bps = trace.peak_picture_rate_bps();
+    TraceStats {
+        i,
+        p,
+        b,
+        overall,
+        mean_rate_bps,
+        peak_rate_bps,
+        peak_to_mean: peak_rate_bps / mean_rate_bps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequences::{driving1, paper_sequences};
+    use smooth_mpeg::{GopPattern, Resolution};
+
+    #[test]
+    fn type_stats_basics() {
+        let s = TypeStats::of(&[10, 20, 30]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 30);
+        assert!((s.mean - 20.0).abs() < 1e-12);
+        assert!((s.std_dev - (200.0f64 / 3.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = TypeStats::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn constant_sizes_have_zero_std() {
+        let s = TypeStats::of(&[42; 10]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, s.max);
+    }
+
+    #[test]
+    fn analyze_counts_sum() {
+        for t in paper_sequences() {
+            let st = analyze(&t);
+            assert_eq!(st.i.count + st.p.count + st.b.count, t.len(), "{}", t.name);
+            assert!(st.i.mean > st.p.mean, "{}: I > P", t.name);
+            assert!(st.p.mean > st.b.mean, "{}: P > B", t.name);
+            assert!(st.peak_to_mean > 2.0, "{}: VBR must be bursty", t.name);
+        }
+    }
+
+    #[test]
+    fn analyze_type_partition_matches_pattern_counts() {
+        let t = driving1();
+        let st = analyze(&t);
+        // 300 pictures at N=9: 34 complete I slots (indices 0,9,...,297).
+        assert_eq!(st.i.count, 34);
+        assert_eq!(st.p.count, 66);
+        assert_eq!(st.b.count, 200);
+    }
+
+    #[test]
+    fn autocorrelation_peaks_at_pattern_multiples() {
+        // The I pictures recur every N: the size sequence correlates far
+        // more strongly at lag N than at the off-pattern lag N-1.
+        let t = driving1();
+        let n = t.pattern.n();
+        let acf = autocorrelation(&t, &[0, n - 1, n, 2 * n]);
+        let at = |lag: usize| acf.iter().find(|&&(l, _)| l == lag).expect("computed").1;
+        assert!((at(0) - 1.0).abs() < 1e-12);
+        assert!(
+            at(n) > 0.7,
+            "lag-N autocorrelation should be strong: {}",
+            at(n)
+        );
+        assert!(
+            at(n) > at(n - 1) + 0.3,
+            "pattern peak must stand out: {} vs {}",
+            at(n),
+            at(n - 1)
+        );
+        assert!(at(2 * n) > 0.6, "periodicity persists at 2N: {}", at(2 * n));
+    }
+
+    #[test]
+    fn autocorrelation_handles_edge_cases() {
+        let t = driving1().truncated(10);
+        // Lags beyond the length are skipped.
+        let acf = autocorrelation(&t, &[0, 5, 10, 100]);
+        assert_eq!(acf.len(), 2);
+        // Constant trace: zero variance, r = 0 at positive lags.
+        let flat = crate::trace::VideoTrace::new(
+            "flat",
+            GopPattern::new(1, 1).unwrap(),
+            Resolution::SIF,
+            30.0,
+            vec![5_000; 20],
+        )
+        .unwrap();
+        let acf = autocorrelation(&flat, &[0, 1, 5]);
+        assert_eq!(acf, vec![(0, 1.0), (1, 0.0), (5, 0.0)]);
+    }
+
+    #[test]
+    fn intra_only_trace_has_no_p_or_b() {
+        let t = crate::trace::VideoTrace::new(
+            "intra",
+            GopPattern::new(1, 1).unwrap(),
+            Resolution::SIF,
+            30.0,
+            vec![100_000; 30],
+        )
+        .unwrap();
+        let st = analyze(&t);
+        assert_eq!(st.p.count, 0);
+        assert_eq!(st.b.count, 0);
+        assert_eq!(st.i.count, 30);
+        assert!(
+            (st.peak_to_mean - 1.0).abs() < 1e-9,
+            "constant trace is not bursty"
+        );
+    }
+}

@@ -1,0 +1,300 @@
+//! The [`VideoTrace`] type: a named sequence of picture sizes.
+//!
+//! This is the interchange type of the whole workspace: the synthetic
+//! encoder produces traces, the smoothing algorithm consumes them, and the
+//! experiment harness sweeps over them. A trace is always in **display
+//! order** (the order pictures are captured and displayed), matching the
+//! paper's system model where picture `i` arrives at the smoothing queue
+//! during `((i−1)τ, iτ]`.
+
+use serde::{Deserialize, Serialize};
+use smooth_mpeg::{GopPattern, PictureType, Resolution};
+use std::fmt;
+
+/// Validation errors for a [`VideoTrace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The trace has no pictures.
+    Empty,
+    /// A picture has size zero (every coded picture has headers).
+    ZeroSize {
+        /// Display index of the offending picture.
+        index: usize,
+    },
+    /// The picture rate is not positive and finite.
+    BadRate,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Empty => write!(f, "trace contains no pictures"),
+            TraceError::ZeroSize { index } => write!(f, "picture {index} has size 0"),
+            TraceError::BadRate => write!(f, "picture rate must be positive and finite"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A VBR video trace: per-picture coded sizes plus the metadata the
+/// smoothing algorithm needs (pattern, picture rate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VideoTrace {
+    /// Human-readable name ("Driving1", …).
+    pub name: String,
+    /// The repeating picture-type pattern.
+    pub pattern: GopPattern,
+    /// Spatial resolution the video was "encoded" at.
+    pub resolution: Resolution,
+    /// Picture rate in pictures per second (30 for all paper sequences).
+    pub fps: f64,
+    /// Per-picture coded sizes in bits, display order.
+    pub sizes: Vec<u64>,
+}
+
+impl VideoTrace {
+    /// Creates and validates a trace.
+    pub fn new(
+        name: impl Into<String>,
+        pattern: GopPattern,
+        resolution: Resolution,
+        fps: f64,
+        sizes: Vec<u64>,
+    ) -> Result<Self, TraceError> {
+        let trace = VideoTrace {
+            name: name.into(),
+            pattern,
+            resolution,
+            fps,
+            sizes,
+        };
+        trace.validate()?;
+        Ok(trace)
+    }
+
+    /// Checks the invariants: non-empty, positive sizes, sane rate.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        if !(self.fps.is_finite() && self.fps > 0.0) {
+            return Err(TraceError::BadRate);
+        }
+        if self.sizes.is_empty() {
+            return Err(TraceError::Empty);
+        }
+        if let Some(index) = self.sizes.iter().position(|&s| s == 0) {
+            return Err(TraceError::ZeroSize { index });
+        }
+        Ok(())
+    }
+
+    /// Number of pictures.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// `true` if the trace has no pictures.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// Picture period τ in seconds.
+    #[inline]
+    pub fn tau(&self) -> f64 {
+        1.0 / self.fps
+    }
+
+    /// Duration of the video in seconds.
+    pub fn duration(&self) -> f64 {
+        self.len() as f64 * self.tau()
+    }
+
+    /// Total coded bits.
+    pub fn total_bits(&self) -> u64 {
+        self.sizes.iter().sum()
+    }
+
+    /// Long-run average bit rate in bits/second.
+    pub fn mean_rate_bps(&self) -> f64 {
+        self.total_bits() as f64 / self.duration()
+    }
+
+    /// Peak *unsmoothed* rate: the rate needed to send the largest picture
+    /// within one picture period (the paper's §1 example: a 200,000-bit I
+    /// picture at 30 pictures/s needs over 6 Mbps unsmoothed).
+    pub fn peak_picture_rate_bps(&self) -> f64 {
+        self.sizes.iter().copied().max().unwrap_or(0) as f64 * self.fps
+    }
+
+    /// Picture type at display index `i`.
+    #[inline]
+    pub fn type_of(&self, i: usize) -> PictureType {
+        self.pattern.type_at(i)
+    }
+
+    /// Sizes of all pictures of type `t`, in display order.
+    pub fn sizes_of_type(&self, t: PictureType) -> Vec<u64> {
+        self.sizes
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.type_of(i) == t)
+            .map(|(_, &s)| s)
+            .collect()
+    }
+
+    /// Sum of picture sizes for each complete pattern (GOP), in order.
+    /// A trailing partial pattern is ignored.
+    pub fn pattern_sums(&self) -> Vec<u64> {
+        let n = self.pattern.n();
+        self.sizes.chunks_exact(n).map(|c| c.iter().sum()).collect()
+    }
+
+    /// Ideal smoothed rate of each complete pattern:
+    /// `(S_i + … + S_{i+N−1}) / (N·τ)` (paper §3.2).
+    pub fn pattern_rates_bps(&self) -> Vec<f64> {
+        let n_tau = self.pattern.n() as f64 * self.tau();
+        self.pattern_sums()
+            .iter()
+            .map(|&s| s as f64 / n_tau)
+            .collect()
+    }
+
+    /// Writes this trace as a structurally real MPEG-1 bit stream
+    /// (sequence/GOP/picture/slice headers with the macroblock layer as
+    /// sized opaque payload; see `smooth_mpeg::bitstream`).
+    ///
+    /// The `seed` drives the payload filler only — structure and sizes
+    /// are fully determined by the trace.
+    pub fn to_bitstream(&self, seed: u64) -> smooth_mpeg::bitstream::WrittenStream {
+        let spec = smooth_mpeg::bitstream::StreamSpec::new(
+            smooth_mpeg::bitstream::SequenceHeader::vbr(self.resolution),
+            self.pattern,
+        );
+        smooth_mpeg::bitstream::write_stream(&spec, &self.sizes, seed)
+    }
+
+    /// A new trace containing only the first `n` pictures.
+    pub fn truncated(&self, n: usize) -> VideoTrace {
+        VideoTrace {
+            name: self.name.clone(),
+            pattern: self.pattern,
+            resolution: self.resolution,
+            fps: self.fps,
+            sizes: self.sizes[..n.min(self.sizes.len())].to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> VideoTrace {
+        let pattern = GopPattern::new(3, 9).unwrap();
+        let sizes: Vec<u64> = (0..18)
+            .map(|i| match pattern.type_at(i) {
+                PictureType::I => 180_000,
+                PictureType::P => 90_000,
+                PictureType::B => 18_000,
+            })
+            .collect();
+        VideoTrace::new("toy", pattern, Resolution::VGA, 30.0, sizes).unwrap()
+    }
+
+    #[test]
+    fn validation_catches_bad_traces() {
+        let pattern = GopPattern::new(3, 9).unwrap();
+        assert_eq!(
+            VideoTrace::new("x", pattern, Resolution::VGA, 30.0, vec![]).unwrap_err(),
+            TraceError::Empty
+        );
+        assert_eq!(
+            VideoTrace::new("x", pattern, Resolution::VGA, 30.0, vec![100, 0, 100]).unwrap_err(),
+            TraceError::ZeroSize { index: 1 }
+        );
+        assert_eq!(
+            VideoTrace::new("x", pattern, Resolution::VGA, 0.0, vec![100]).unwrap_err(),
+            TraceError::BadRate
+        );
+        assert_eq!(
+            VideoTrace::new("x", pattern, Resolution::VGA, f64::NAN, vec![100]).unwrap_err(),
+            TraceError::BadRate
+        );
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let t = toy();
+        assert_eq!(t.len(), 18);
+        assert!(!t.is_empty());
+        assert!((t.tau() - 1.0 / 30.0).abs() < 1e-12);
+        assert!((t.duration() - 0.6).abs() < 1e-12);
+        let per_gop = 180_000 + 2 * 90_000 + 6 * 18_000;
+        assert_eq!(t.total_bits(), 2 * per_gop);
+        assert!((t.mean_rate_bps() - (2 * per_gop) as f64 / 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn peak_rate_is_i_picture_rate() {
+        let t = toy();
+        assert!((t.peak_picture_rate_bps() - 180_000.0 * 30.0).abs() < 1e-9);
+        // Matches the §1 motivation: far above the mean rate.
+        assert!(t.peak_picture_rate_bps() > 3.0 * t.mean_rate_bps());
+    }
+
+    #[test]
+    fn sizes_by_type() {
+        let t = toy();
+        assert_eq!(t.sizes_of_type(PictureType::I), vec![180_000; 2]);
+        assert_eq!(t.sizes_of_type(PictureType::P), vec![90_000; 4]);
+        assert_eq!(t.sizes_of_type(PictureType::B), vec![18_000; 12]);
+    }
+
+    #[test]
+    fn pattern_sums_and_rates() {
+        let t = toy();
+        let per_gop = 180_000u64 + 2 * 90_000 + 6 * 18_000;
+        assert_eq!(t.pattern_sums(), vec![per_gop; 2]);
+        let rate = per_gop as f64 / (9.0 / 30.0);
+        for r in t.pattern_rates_bps() {
+            assert!((r - rate).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn partial_trailing_pattern_ignored() {
+        let mut t = toy();
+        t.sizes.extend_from_slice(&[50_000; 4]); // 4 extra pictures
+        assert_eq!(t.pattern_sums().len(), 2);
+    }
+
+    #[test]
+    fn truncated_trace() {
+        let t = toy();
+        let t2 = t.truncated(9);
+        assert_eq!(t2.len(), 9);
+        assert_eq!(&t2.sizes[..], &t.sizes[..9]);
+        // Truncating beyond the end is a no-op clone.
+        assert_eq!(t.truncated(100).len(), 18);
+    }
+
+    #[test]
+    fn to_bitstream_roundtrips_through_the_parser() {
+        let t = toy();
+        let written = t.to_bitstream(3);
+        let parsed = smooth_mpeg::bitstream::parse_strict(&written.bytes).unwrap();
+        assert_eq!(parsed.pictures.len(), t.len());
+        for (have, want) in parsed.display_order_sizes().iter().zip(&t.sizes) {
+            assert_eq!(*have, (want / 8) * 8);
+        }
+    }
+
+    #[test]
+    fn serde_json_roundtrip() {
+        let t = toy();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: VideoTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

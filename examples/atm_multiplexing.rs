@@ -1,0 +1,58 @@
+//! Statistical multiplexing: why a network operator wants you to smooth.
+//!
+//! Eight independent VBR video sources (seed variants of Driving1 with
+//! random phases) share a 20 Mbps ATM link with a small cell buffer. We
+//! compare the switch's loss ratio when the sources transmit raw encoder
+//! output versus when each runs the paper's smoothing algorithm — the
+//! claim of the paper's §1/§3 (after refs [10, 11]) made concrete.
+//!
+//! ```sh
+//! cargo run --release --example atm_multiplexing
+//! ```
+
+use mpeg_smooth::prelude::*;
+use smooth_netsim::{buffer_sweep, MultiplexConfig, SourceMode};
+use smooth_trace::SequenceId;
+
+fn main() {
+    let params = SmootherParams::at_30fps(0.2, 1, 9).expect("feasible");
+    let base = MultiplexConfig {
+        sequence: SequenceId::Driving1,
+        pictures: 150,
+        sources: 8,
+        mode: SourceMode::Unsmoothed,
+        capacity_bps: 19.0e6,
+        buffer_bits: 0.0,
+        seed: 2024,
+    };
+
+    println!("8 x Driving1 variants -> one 19 Mbps link (nominal load ~0.9)");
+    println!();
+    println!(
+        "{:>14}  {:>12}  {:>12}  {:>9}",
+        "buffer (cells)", "raw loss", "smooth loss", "gain"
+    );
+    // ATM cell = 424 wire bits; sweep realistic switch buffer sizes.
+    let cell_bits = 424.0;
+    let buffers: Vec<f64> = [64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0]
+        .iter()
+        .map(|c| c * cell_bits)
+        .collect();
+    for (buf, raw, smoothed) in buffer_sweep(&base, params, &buffers) {
+        let gain = if smoothed > 0.0 {
+            raw / smoothed
+        } else {
+            f64::INFINITY
+        };
+        println!(
+            "{:>14.0}  {:>12.6}  {:>12.6}  {:>8.1}x",
+            buf / cell_bits,
+            raw,
+            smoothed,
+            gain
+        );
+    }
+    println!();
+    println!("Same sources, same link, same buffer - smoothing removes the");
+    println!("picture-scale bursts that small ATM buffers cannot absorb.");
+}

@@ -1,0 +1,118 @@
+//! Bitstream tour: build a real (structural) MPEG-1 stream from a trace,
+//! parse it back, then damage it and watch the decoder resynchronize at
+//! slice boundaries — the §2 error behaviour the paper describes.
+//!
+//! ```sh
+//! cargo run --example bitstream_tour
+//! ```
+
+use mpeg_smooth::prelude::*;
+use smooth_mpeg::bitstream::{
+    flip_random_bits, parse_stream, scan_start_codes, write_stream, SequenceHeader, StartCode,
+    StreamSpec,
+};
+use smooth_rng::Rng;
+
+fn main() {
+    // A short Driving1 excerpt: 27 pictures (3 GOPs at N = 9).
+    let video = driving1().truncated(27);
+    let spec = StreamSpec::new(SequenceHeader::vbr(video.resolution), video.pattern);
+    let written = write_stream(&spec, &video.sizes, 7);
+    println!(
+        "wrote {} bytes: {} pictures in transmission order, 3 GOP headers",
+        written.bytes.len(),
+        written.coded_order.len()
+    );
+
+    // Show the reordering the decoder must undo (paper §2).
+    let display: String = (0..13).map(|i| video.type_of(i).as_char()).collect();
+    let coded: String = written
+        .coded_order
+        .iter()
+        .take(13)
+        .map(|&d| video.type_of(d).as_char())
+        .collect();
+    println!("display order     : {display}...");
+    println!("transmission order: {coded}...");
+
+    // Start-code census.
+    let mut pictures = 0;
+    let mut slices = 0;
+    for (_, code) in scan_start_codes(&written.bytes) {
+        match code {
+            StartCode::Picture => pictures += 1,
+            StartCode::Slice(_) => slices += 1,
+            _ => {}
+        }
+    }
+    println!("start codes       : {pictures} pictures, {slices} slices");
+
+    // Clean parse: every picture recovered, sizes match the trace.
+    let parsed = parse_stream(&written.bytes);
+    assert!(parsed.is_clean());
+    let recovered = parsed.display_order_sizes();
+    let matches = recovered
+        .iter()
+        .zip(&video.sizes)
+        .filter(|(have, want)| **have == (**want / 8) * 8)
+        .count();
+    println!(
+        "clean parse       : {}/{} picture sizes recovered exactly",
+        matches,
+        video.len()
+    );
+
+    // Now the §2 experiment, part 1: random channel errors. Nearly all
+    // land in (opaque) macroblock payload — harmless to the *structure* —
+    // which is itself the point: headers are a tiny, vulnerable fraction.
+    println!();
+    for n_flips in [10usize, 1_000, 10_000] {
+        let mut damaged = written.bytes.clone();
+        flip_random_bits(
+            &mut damaged,
+            n_flips,
+            &mut Rng::seed_from_u64(n_flips as u64),
+        );
+        let parsed = parse_stream(&damaged);
+        let total_slices: usize = parsed.pictures.iter().map(|p| p.slices.len()).sum();
+        println!(
+            "{:>5} random bit errors -> {:>2} pictures, {:>3}/{} slices, {:>2} issues logged",
+            n_flips,
+            parsed.pictures.len(),
+            total_slices,
+            slices,
+            parsed.issues.len()
+        );
+    }
+
+    // Part 2: targeted header damage — zero the header byte of the first
+    // slice of k pictures and watch the decoder drop exactly those slices
+    // and resynchronize at the next start code.
+    println!();
+    for k in [1usize, 5, 20] {
+        let mut damaged = written.bytes.clone();
+        let mut hit = 0;
+        for (at, code) in scan_start_codes(&written.bytes) {
+            if let StartCode::Slice(1) = code {
+                damaged[at + 4] = 0x00; // quantizer_scale = 0: invalid
+                hit += 1;
+                if hit == k {
+                    break;
+                }
+            }
+        }
+        let parsed = parse_stream(&damaged);
+        let total_slices: usize = parsed.pictures.iter().map(|p| p.slices.len()).sum();
+        println!(
+            "{:>5} corrupted slice headers -> {}/{} slices survive, {} issues, all pictures intact: {}",
+            k,
+            total_slices,
+            slices,
+            parsed.issues.len(),
+            parsed.pictures.len() == video.len()
+        );
+    }
+    println!();
+    println!("Damage is contained: the parser skips to the next start code and");
+    println!("resumes - one or more slices are lost, never the whole stream (paper §2).");
+}

@@ -1,0 +1,95 @@
+//! Fuzz-style robustness properties of the bitstream layer: the parser is
+//! total (never panics, never loops) on arbitrary and on corrupted input,
+//! and damage can only ever shrink what is recovered.
+
+use proptest::prelude::*;
+use smooth_mpeg::bitstream::{
+    apply_ber, flip_random_bits, parse_stream, write_stream, zero_bytes, SequenceHeader, StreamSpec,
+};
+use smooth_mpeg::{GopPattern, Resolution};
+use smooth_rng::Rng;
+
+fn sample_stream(seed: u64) -> Vec<u8> {
+    let pattern = GopPattern::new(3, 9).expect("static");
+    let spec = StreamSpec::new(SequenceHeader::vbr(Resolution::CIF), pattern);
+    let sizes: Vec<u64> = (0..18)
+        .map(|i| match pattern.type_at(i) {
+            smooth_mpeg::PictureType::I => 60_000,
+            smooth_mpeg::PictureType::P => 30_000,
+            smooth_mpeg::PictureType::B => 8_000,
+        })
+        .collect();
+    write_stream(&spec, &sizes, seed).bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser accepts arbitrary bytes without panicking and recovers
+    /// nothing spurious from genuinely structureless input.
+    #[test]
+    fn parser_is_total_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let parsed = parse_stream(&data);
+        // Each recovered picture must sit within the buffer.
+        for p in &parsed.pictures {
+            prop_assert!(p.byte_range.end <= data.len());
+            prop_assert!(p.byte_range.start <= p.byte_range.end);
+        }
+    }
+
+    /// Random bit errors never crash the parser, and every surviving
+    /// picture still has plausible structure.
+    #[test]
+    fn parser_survives_random_bit_errors(seed in 0u64..1000, flips in 0usize..5000) {
+        let mut bytes = sample_stream(seed);
+        flip_random_bits(&mut bytes, flips, &mut Rng::seed_from_u64(seed ^ 0xF00D));
+        let parsed = parse_stream(&bytes);
+        prop_assert!(parsed.pictures.len() <= 18 + flips, "cannot invent many pictures");
+        for p in &parsed.pictures {
+            prop_assert!(p.size_bits() > 0);
+        }
+    }
+
+    /// Burst erasures (zeroed byte runs) are contained: the parser still
+    /// terminates and reports issues rather than failing.
+    #[test]
+    fn parser_survives_burst_erasure(seed in 0u64..200, offset in 0usize..300_000, len in 1usize..50_000) {
+        let mut bytes = sample_stream(seed);
+        let at = offset % bytes.len().max(1);
+        zero_bytes(&mut bytes, at, len);
+        let parsed = parse_stream(&bytes);
+        // A zeroed burst can only remove content, never conjure more
+        // pictures than were written (18) -- zero runs cannot contain the
+        // 0x01 a start code needs.
+        prop_assert!(parsed.pictures.len() <= 18);
+    }
+
+    /// A binary symmetric channel at any error rate leaves the parser
+    /// deterministic and total.
+    #[test]
+    fn parser_survives_bsc(seed in 0u64..100, ber_millis in 0u32..20) {
+        let mut bytes = sample_stream(seed);
+        let ber = f64::from(ber_millis) / 1000.0;
+        apply_ber(&mut bytes, ber, &mut Rng::seed_from_u64(seed));
+        let a = parse_stream(&bytes);
+        let b = parse_stream(&bytes);
+        prop_assert_eq!(a.pictures.len(), b.pictures.len(), "parsing must be deterministic");
+        prop_assert_eq!(a.issues.len(), b.issues.len());
+    }
+
+    /// Truncation at any byte boundary yields a clean prefix parse.
+    #[test]
+    fn truncation_yields_prefix(seed in 0u64..200, cut_frac in 0.0f64..1.0) {
+        let bytes = sample_stream(seed);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let full = parse_stream(&bytes);
+        let part = parse_stream(&bytes[..cut]);
+        prop_assert!(part.pictures.len() <= full.pictures.len());
+        // Pictures fully inside the prefix parse identically.
+        for (a, b) in part.pictures.iter().zip(&full.pictures) {
+            if b.byte_range.end <= cut {
+                prop_assert_eq!(a.header, b.header);
+            }
+        }
+    }
+}
