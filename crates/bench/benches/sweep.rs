@@ -1,0 +1,55 @@
+//! Sweep-engine throughput: pictures smoothed per second through a
+//! Fig 7-style grid (lookahead sweep at D = 0.2, K = 1 over all four
+//! paper sequences), serial vs parallel.
+//!
+//! The `Throughput::Elements` line reports pictures/second; comparing the
+//! `threads/1` and `threads/<cores>` rows gives the sweep-layer speedup
+//! on this machine. Output is deterministic, so the rows only differ in
+//! time, never in result.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smooth_core::{PatternEstimator, RateSelection, SmootherParams};
+use smooth_sweep::smooth_grid;
+use smooth_trace::{paper_sequences, VideoTrace};
+
+fn sweep_throughput(c: &mut Criterion) {
+    let traces = paper_sequences();
+    let trace_refs: Vec<&VideoTrace> = traces.iter().collect();
+    let params: Vec<SmootherParams> = [1usize, 2, 5, 9, 12, 18]
+        .iter()
+        .map(|&h| SmootherParams::at_30fps(0.2, 1, h).expect("feasible"))
+        .collect();
+    let estimator = PatternEstimator::default();
+
+    let pictures_per_sweep: u64 =
+        trace_refs.iter().map(|t| t.len() as u64).sum::<u64>() * params.len() as u64;
+
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(pictures_per_sweep));
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut thread_counts = vec![1];
+    if cores > 1 {
+        thread_counts.push(cores);
+    }
+    for threads in thread_counts {
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| {
+                smooth_grid(
+                    threads,
+                    &trace_refs,
+                    &params,
+                    &estimator,
+                    RateSelection::Basic,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sweep_throughput);
+criterion_main!(benches);

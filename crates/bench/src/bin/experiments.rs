@@ -1,21 +1,32 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```sh
-//! experiments [names...] [--csv-dir DIR] [--series]
+//! experiments [names...] [--csv-dir DIR] [--series] [--threads N]
+//!             [--bench-json PATH]
 //! ```
 //!
 //! With no names, runs everything. Series tables (thousands of rows,
 //! meant for plotting) are written to CSV but elided on the terminal
 //! unless `--series` is given.
+//!
+//! Sweep-heavy figures fan out over `--threads` workers (default: all
+//! cores; output is bit-identical for any value). Every run times each
+//! figure and writes a `BENCH_sweep.json` perf report; when running
+//! parallel, the Fig 7/8 grids are re-run serially so the report records
+//! the speedup.
+
+use std::time::Instant;
 
 use smooth_bench::experiments;
-use smooth_bench::Table;
+use smooth_sweep::bench::SweepBenchReport;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut names: Vec<String> = Vec::new();
     let mut csv_dir = String::from("results");
+    let mut bench_json = String::from("BENCH_sweep.json");
     let mut print_series = false;
+    let mut threads_opt: Option<usize> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -25,9 +36,28 @@ fn main() {
                     std::process::exit(2);
                 })
             }
+            "--bench-json" => {
+                bench_json = it.next().unwrap_or_else(|| {
+                    eprintln!("--bench-json requires a value");
+                    std::process::exit(2);
+                })
+            }
+            "--threads" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--threads requires a value");
+                    std::process::exit(2);
+                });
+                threads_opt = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--threads: cannot parse {v:?}");
+                    std::process::exit(2);
+                }));
+            }
             "--series" => print_series = true,
             "--help" | "-h" => {
-                println!("usage: experiments [names...] [--csv-dir DIR] [--series]");
+                println!(
+                    "usage: experiments [names...] [--csv-dir DIR] [--series] \
+                     [--threads N] [--bench-json PATH]"
+                );
                 println!(
                     "names: {}",
                     experiments::all()
@@ -42,8 +72,11 @@ fn main() {
         }
     }
 
+    let threads = smooth_sweep::resolve_threads(threads_opt);
+    smooth_sweep::set_default_threads(threads);
+
     let all = experiments::all();
-    let selected: Vec<&(&str, fn() -> Vec<Table>)> = if names.is_empty() {
+    let selected: Vec<&experiments::Experiment> = if names.is_empty() {
         all.iter().collect()
     } else {
         names
@@ -60,9 +93,11 @@ fn main() {
             .collect()
     };
 
-    for (name, gen) in selected {
+    let mut report = SweepBenchReport::new(threads);
+    for &&(name, gen) in &selected {
         println!("==================== {name} ====================");
-        for table in gen() {
+        let tables = report.time(name, gen);
+        for table in tables {
             match table.save_csv(&csv_dir) {
                 Ok(path) => {
                     let is_series = table.title.contains("series");
@@ -85,5 +120,28 @@ fn main() {
             }
             println!();
         }
+    }
+
+    // Serial re-runs of the grid-heavy figures so BENCH_sweep.json records
+    // the parallel speedup (skipped when the run was serial anyway).
+    if threads > 1 {
+        smooth_sweep::set_default_threads(1);
+        for &&(name, gen) in &selected {
+            if name == "fig7" || name == "fig8" {
+                let t0 = Instant::now();
+                std::hint::black_box(gen());
+                report.set_serial_baseline(name, t0.elapsed().as_secs_f64());
+            }
+        }
+        smooth_sweep::set_default_threads(threads);
+    }
+
+    match report.save(std::path::Path::new(&bench_json)) {
+        Ok(()) => println!(
+            "perf report ({} figures, {} threads) -> {bench_json}",
+            report.figures.len(),
+            report.threads
+        ),
+        Err(e) => eprintln!("failed to write {bench_json}: {e}"),
     }
 }

@@ -14,7 +14,7 @@ use smooth_core::{
 };
 use smooth_metrics::{delay_stats, measure, SmoothnessMeasures};
 use smooth_mpeg::synth::{size_factor, size_ratio, PAPER_I_BITS_Q30, PAPER_I_BITS_Q4};
-use smooth_netsim::{buffer_sweep, run_multiplex, MultiplexConfig, SourceMode};
+use smooth_netsim::{buffer_sweep, MultiplexConfig, SourceMode};
 use smooth_trace::{analyze, driving1, paper_sequences, SequenceId, VideoTrace};
 
 const TAU: f64 = 1.0 / 30.0;
@@ -93,9 +93,11 @@ pub fn fig4() -> Vec<Table> {
             "max delay ms",
         ],
     );
-    for &d in &ds {
-        let result = smooth(&trace, SmootherParams::at_30fps(d, 1, 9).expect("feasible"));
-        let m = measures(&trace, &result);
+    let results = smooth_sweep::par_map(smooth_sweep::default_threads(), &ds, |_, &d| {
+        smooth(&trace, SmootherParams::at_30fps(d, 1, 9).expect("feasible"))
+    });
+    for (&d, result) in ds.iter().zip(&results) {
+        let m = measures(&trace, result);
         summary.push(vec![
             f(d, 4),
             f(m.max_rate_bps / 1e6, 3),
@@ -199,12 +201,30 @@ pub fn fig5() -> Vec<Table> {
     vec![summary, series]
 }
 
-/// Shared sweep driver for Figures 6–8.
+/// Shared sweep driver for Figures 6–8: each grid point is smoothed and
+/// measured in parallel ([`smooth_sweep::par_map`] with the process
+/// default worker count), with rows collected back in grid order — the
+/// table is byte-identical to the old serial loop for any thread count.
 fn sweep_table(
     title: &str,
     param_name: &str,
     configs: impl Iterator<Item = (String, VideoTrace, SmootherParams)>,
 ) -> Table {
+    let configs: Vec<(String, VideoTrace, SmootherParams)> = configs.collect();
+    let threads = smooth_sweep::default_threads();
+    let rows = smooth_sweep::par_map(threads, &configs, |_, (value, trace, params)| {
+        let result = smooth(trace, *params);
+        debug_assert_eq!(result.delay_violations(), 0);
+        let m = measures(trace, &result);
+        vec![
+            trace.name.clone(),
+            value.clone(),
+            f(m.area_difference, 4),
+            m.rate_changes.to_string(),
+            f(m.max_rate_bps / 1e6, 3),
+            f(m.std_dev_bps / 1e3, 1),
+        ]
+    });
     let mut table = Table::new(
         title,
         &[
@@ -216,18 +236,8 @@ fn sweep_table(
             "SD kbps",
         ],
     );
-    for (value, trace, params) in configs {
-        let result = smooth(&trace, params);
-        debug_assert_eq!(result.delay_violations(), 0);
-        let m = measures(&trace, &result);
-        table.push(vec![
-            trace.name.clone(),
-            value,
-            f(m.area_difference, 4),
-            m.rate_changes.to_string(),
-            f(m.max_rate_bps / 1e6, 3),
-            f(m.std_dev_bps / 1e3, 1),
-        ]);
+    for row in rows {
+        table.push(row);
     }
     table
 }
@@ -299,10 +309,13 @@ pub fn fig8() -> Vec<Table> {
         &["K", "D (s)", "mean delay (s)", "max delay (s)"],
     );
     let trace = driving1();
-    for k in 1..=12usize {
+    let ks: Vec<usize> = (1..=12).collect();
+    let companion = smooth_sweep::par_map(smooth_sweep::default_threads(), &ks, |_, &k| {
         let params = SmootherParams::constant_slack(k, 9, TAU);
         let result = smooth(&trace, params);
-        let st = delay_stats(&result.delays(), None);
+        (params, delay_stats(&result.delays(), None))
+    });
+    for (&k, (params, st)) in ks.iter().zip(&companion) {
         delays.push(vec![
             k.to_string(),
             f(params.delay_bound, 4),
@@ -330,25 +343,31 @@ pub fn theorem() -> Vec<Table> {
     );
     for trace in paper_sequences() {
         let n = trace.pattern.n();
-        let mut configs = 0usize;
-        let mut pictures = 0usize;
-        let mut violations = 0usize;
-        let mut gaps = 0usize;
+        let mut param_grid: Vec<SmootherParams> = Vec::new();
         for d in [0.0667, 0.10, 0.1333, 0.20, 0.30] {
             for k in 1..=3usize {
                 if d + 1e-12 < (k as f64 + 1.0) * TAU {
                     continue;
                 }
                 for h in [1usize, n, 2 * n] {
-                    let result = smooth(&trace, SmootherParams::at_30fps(d, k, h).expect("ok"));
-                    let report = check_theorem1(&result);
-                    configs += 1;
-                    pictures += report.pictures;
-                    violations += report.delay_violations;
-                    if !report.continuous_service {
-                        gaps += 1;
-                    }
+                    param_grid.push(SmootherParams::at_30fps(d, k, h).expect("ok"));
                 }
+            }
+        }
+        let reports = smooth_sweep::par_map(
+            smooth_sweep::default_threads(),
+            &param_grid,
+            |_, &params| check_theorem1(&smooth(&trace, params)),
+        );
+        let configs = reports.len();
+        let mut pictures = 0usize;
+        let mut violations = 0usize;
+        let mut gaps = 0usize;
+        for report in &reports {
+            pictures += report.pictures;
+            violations += report.delay_violations;
+            if !report.continuous_service {
+                gaps += 1;
             }
         }
         grid.push(vec![
@@ -421,18 +440,28 @@ pub fn mux() -> Vec<Table> {
             "smoothed loss",
         ],
     );
-    for cap in [17.0e6, 18.0e6, 19.0e6, 20.0e6, 21.0e6, 22.0e6] {
-        let raw = run_multiplex(&MultiplexConfig {
-            capacity_bps: cap,
-            buffer_bits: 256.0 * cell,
-            ..base
-        });
-        let smoothed = run_multiplex(&MultiplexConfig {
-            capacity_bps: cap,
-            buffer_bits: 256.0 * cell,
-            mode: SourceMode::Smoothed { params },
-            ..base
-        });
+    let caps = [17.0e6, 18.0e6, 19.0e6, 20.0e6, 21.0e6, 22.0e6];
+    let outcomes = smooth_sweep::par_map(smooth_sweep::default_threads(), &caps, |_, &cap| {
+        let raw = smooth_netsim::run_multiplex_threaded(
+            &MultiplexConfig {
+                capacity_bps: cap,
+                buffer_bits: 256.0 * cell,
+                ..base
+            },
+            1,
+        );
+        let smoothed = smooth_netsim::run_multiplex_threaded(
+            &MultiplexConfig {
+                capacity_bps: cap,
+                buffer_bits: 256.0 * cell,
+                mode: SourceMode::Smoothed { params },
+                ..base
+            },
+            1,
+        );
+        (raw, smoothed)
+    });
+    for (&cap, (raw, smoothed)) in caps.iter().zip(&outcomes) {
         by_capacity.push(vec![
             f(cap / 1e6, 0),
             f(raw.nominal_load, 2),
@@ -820,9 +849,12 @@ pub fn model() -> Vec<Table> {
     vec![table]
 }
 
+/// A named experiment: its CLI name paired with its table generator.
+pub type Experiment = (&'static str, fn() -> Vec<Table>);
+
 /// Every experiment, in order. `("name", generator)` pairs drive both the
 /// CLI and the smoke tests.
-pub fn all() -> Vec<(&'static str, fn() -> Vec<Table>)> {
+pub fn all() -> Vec<Experiment> {
     vec![
         ("fig3", fig3),
         ("fig4", fig4),

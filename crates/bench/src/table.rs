@@ -5,7 +5,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 
 /// A titled table of stringly-typed cells.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Table {
     /// Title printed above the table and used for the CSV file name.
     pub title: String,

@@ -1,0 +1,51 @@
+//! The ISSUE's hard requirement, enforced end to end: every parallel
+//! sweep produces output byte-identical to a serial run.
+//!
+//! These tests flip the process-wide worker count between figure
+//! regenerations and compare the rendered tables byte for byte. They live
+//! in one integration test binary (and one #[test] each) so the global
+//! [`smooth_sweep::set_default_threads`] never races another test — and
+//! even a race would only change timing, never results.
+
+use smooth_bench::experiments;
+
+/// Renders every table of a figure to one string (bytes, not floats —
+/// the comparison is textual equality, no tolerance).
+fn render_all(gen: fn() -> Vec<smooth_bench::Table>) -> String {
+    gen()
+        .iter()
+        .map(|t| t.render())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn figure_grids_are_byte_identical_serial_vs_parallel() {
+    // Fig 7 (lookahead grid) and fig 8 (slack grid): the two heaviest
+    // sweep_table users, plus fig4's per-D fan-out.
+    for (name, gen) in experiments::all() {
+        if !matches!(name, "fig4" | "fig7" | "fig8") {
+            continue;
+        }
+        smooth_sweep::set_default_threads(1);
+        let serial = render_all(gen);
+        for threads in [2, 4, 8] {
+            smooth_sweep::set_default_threads(threads);
+            let parallel = render_all(gen);
+            assert_eq!(serial, parallel, "{name} diverged at {threads} threads");
+        }
+        smooth_sweep::set_default_threads(0);
+    }
+}
+
+#[test]
+fn mux_experiment_is_byte_identical_serial_vs_parallel() {
+    // The multiplexing experiment exercises both fan-out layers:
+    // buffer_sweep across buffer points and run_multiplex across sources.
+    smooth_sweep::set_default_threads(1);
+    let serial = render_all(experiments::mux);
+    smooth_sweep::set_default_threads(4);
+    let parallel = render_all(experiments::mux);
+    smooth_sweep::set_default_threads(0);
+    assert_eq!(serial, parallel);
+}

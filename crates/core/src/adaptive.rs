@@ -18,7 +18,9 @@
 
 use crate::estimate::DefaultSizes;
 use crate::params::SmootherParams;
-use crate::smoother::{decide_one, DecideCtx, RateSelection, SmoothingResult, TIME_EPS};
+use crate::smoother::{
+    decide_one, fill_lookahead, DecideCtx, RateSelection, SmoothingResult, TIME_EPS,
+};
 use smooth_mpeg::PatternSchedule;
 use smooth_trace::adaptive::AdaptiveVideo;
 
@@ -56,21 +58,26 @@ pub fn smooth_adaptive(
     let mut schedule = Vec::with_capacity(n_total);
     let mut depart = 0.0f64;
     let mut prev_rate: Option<f64> = None;
+    let mut sizes_ahead: Vec<f64> = Vec::with_capacity(params.h);
 
     for i in 0..n_total {
         let time = depart.max((i + k) as f64 * tau);
         let arrived_by_time = (((time + TIME_EPS) / tau).floor() as usize).min(n_total);
         let arrived = arrived_by_time.max((i + k).min(n_total));
 
-        let estimate =
-            |j: usize, visible: &[u64]| same_type_estimate(&video.schedule, &defaults, j, visible);
+        let visible = &sizes[..arrived];
+        fill_lookahead(
+            &mut sizes_ahead,
+            i,
+            params.h.min(n_total - i),
+            visible,
+            |j| same_type_estimate(&video.schedule, &defaults, j, visible),
+        );
         let decision = decide_one(&DecideCtx {
             params: &params,
-            estimate: &estimate,
+            sizes_ahead: &sizes_ahead,
             pattern_n: video.schedule.n_at(i),
             selection,
-            visible: &sizes[..arrived],
-            horizon: Some(n_total),
             i,
             depart,
             prev_rate,

@@ -19,7 +19,8 @@
 use crate::estimate::{PatternEstimator, SizeEstimator};
 use crate::params::SmootherParams;
 use crate::smoother::{
-    decide_one, DecideCtx, PictureSchedule, RateSelection, SmoothingResult, TIME_EPS,
+    decide_one, fill_lookahead, DecideCtx, PictureSchedule, RateSelection, SmoothingResult,
+    TIME_EPS,
 };
 use smooth_mpeg::GopPattern;
 
@@ -36,6 +37,8 @@ pub struct OnlineSmoother<E: SizeEstimator = PatternEstimator> {
     arrived: Vec<u64>,
     /// Decisions already emitted.
     decided: usize,
+    /// Reusable lookahead scratch (see `DecideCtx::sizes_ahead`).
+    sizes_ahead: Vec<f64>,
     /// Departure time of the last decided picture.
     depart: f64,
     prev_rate: Option<f64>,
@@ -85,6 +88,7 @@ impl<E: SizeEstimator> OnlineSmoother<E> {
             expected_total,
             arrived: Vec::new(),
             decided: 0,
+            sizes_ahead: Vec::with_capacity(params.h),
             depart: 0.0,
             prev_rate: None,
             ended: false,
@@ -166,15 +170,19 @@ impl<E: SizeEstimator> OnlineSmoother<E> {
 
             let pattern = self.pattern;
             let estimator = &self.estimator;
-            let estimate =
-                move |j: usize, visible: &[u64]| estimator.estimate(j, visible, &pattern);
+            let visible = &self.arrived[..visible_len];
+            let look = match n_known {
+                Some(n) => self.params.h.min(n - i),
+                None => self.params.h,
+            };
+            fill_lookahead(&mut self.sizes_ahead, i, look, visible, |j| {
+                estimator.estimate(j, visible, &pattern)
+            });
             let decision = decide_one(&DecideCtx {
                 params: &self.params,
-                estimate: &estimate,
+                sizes_ahead: &self.sizes_ahead,
                 pattern_n: pattern.n(),
                 selection: self.selection,
-                visible: &self.arrived[..visible_len],
-                horizon: n_known,
                 i,
                 depart: self.depart,
                 prev_rate: self.prev_rate,
@@ -276,8 +284,11 @@ mod tests {
         // Identical except possibly within the last H pictures, where the
         // live smoother cannot know the sequence is about to end.
         let h = params.h;
-        for i in 0..90 - h {
-            assert_eq!(schedule[i], offline.schedule[i], "early divergence at {i}");
+        for (i, (live, stored)) in schedule.iter().zip(&offline.schedule).enumerate() {
+            if i >= 90 - h {
+                break;
+            }
+            assert_eq!(live, stored, "early divergence at {i}");
         }
     }
 

@@ -127,6 +127,9 @@ fn taut_string(constraints: &[Constraint]) -> Vec<(f64, f64)> {
         let mut hi_at: Option<usize> = None;
         let mut lo_at: Option<usize> = None;
 
+        // mut_range_bound: the new pivot takes effect via `continue
+        // 'outer`, which re-enters this loop with the updated bound.
+        #[allow(clippy::mut_range_bound)]
         for j in pivot_idx..constraints.len() {
             let c = constraints[j];
             let dt = c.t - pt;
@@ -333,13 +336,13 @@ mod tests {
             }
             cum
         };
-        for j in 0..t.len() {
+        for (j, &arrived) in prefix.iter().enumerate().take(t.len()) {
             let arrival = (j as f64 + 1.0) * TAU;
             assert!(
-                cum_at(arrival) <= prefix[j] + 1.0,
+                cum_at(arrival) <= arrived + 1.0,
                 "at arrival of picture {j}: sent {} > arrived {}",
                 cum_at(arrival),
-                prefix[j]
+                arrived
             );
         }
     }

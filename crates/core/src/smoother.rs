@@ -223,19 +223,17 @@ impl SmoothingResult {
 /// two cannot drift apart.
 pub(crate) struct DecideCtx<'a> {
     pub params: &'a SmootherParams,
-    /// Estimated size of a not-yet-arrived picture `j`, given the arrived
-    /// prefix. Callers bind their estimator + pattern model here, which
-    /// is what lets the adaptive-pattern smoother share this function.
-    pub estimate: &'a dyn Fn(usize, &'a [u64]) -> f64,
+    /// Pre-resolved lookahead sizes: `sizes_ahead[m]` is `S_{i+m}` — the
+    /// exact size if picture `i+m` has arrived by `t_i`, the caller's
+    /// estimate otherwise. Already truncated to
+    /// `min(H, horizon − i)` entries, so the inner loop is pure slice
+    /// arithmetic with no dynamic dispatch. Callers fill one reusable
+    /// scratch buffer per run instead of allocating per picture.
+    pub sizes_ahead: &'a [f64],
     /// Pattern period `N` in force at picture `i` — used only by the
     /// moving-average selection (paper eq. 15).
     pub pattern_n: usize,
     pub selection: RateSelection,
-    /// Exact sizes of every picture arrived by `t_i` (display prefix).
-    pub visible: &'a [u64],
-    /// Total sequence length if known (caps the lookahead at the end of
-    /// the sequence, the paper's `seq_end`); `None` for live capture.
-    pub horizon: Option<usize>,
     /// Display index of the picture being scheduled.
     pub i: usize,
     /// Departure time of the previous picture (`d_{i−1}`; 0 for `i = 0`).
@@ -254,22 +252,13 @@ pub(crate) fn decide_one(ctx: &DecideCtx<'_>) -> PictureSchedule {
     let tau = ctx.params.tau;
     let d_bound = ctx.params.delay_bound;
     let k = ctx.params.k;
-    let h_max = ctx.params.h;
     let i = ctx.i;
 
     // time := max(depart, (i + K) * tau)    {paper eq. 2}
     let time = ctx.depart.max((i + k) as f64 * tau);
 
-    let size_of = |j: usize| -> f64 {
-        if j < ctx.visible.len() {
-            ctx.visible[j] as f64
-        } else {
-            (ctx.estimate)(j, ctx.visible)
-        }
-    };
-    let in_horizon = |j: usize| ctx.horizon.map(|n| j < n).unwrap_or(true);
-
-    // Inner loop: intersect [r_L(h), r_U(h)] for h = 0..H-1.
+    // Inner loop: intersect [r_L(h), r_U(h)] for h = 0..H-1 (the slice is
+    // pre-truncated to the lookahead window, paper's `seq_end` included).
     let mut sum = 0.0f64;
     let mut lower = 0.0f64;
     let mut upper = f64::INFINITY;
@@ -279,8 +268,8 @@ pub(crate) fn decide_one(ctx: &DecideCtx<'_>) -> PictureSchedule {
     let mut upper0 = f64::INFINITY;
     let mut h = 0usize;
     let mut crossed = false;
-    while h < h_max && in_horizon(i + h) {
-        sum += size_of(i + h);
+    while h < ctx.sizes_ahead.len() {
+        sum += ctx.sizes_ahead[h];
         lower_old = lower;
         upper_old = upper;
         // r_L(h): delay-bound constraint (paper eq. 12).
@@ -373,6 +362,26 @@ pub(crate) fn decide_one(ctx: &DecideCtx<'_>) -> PictureSchedule {
     }
 }
 
+/// Fills `scratch` with the lookahead window `S_i .. S_{i+look-1}`:
+/// exact sizes for the arrived prefix, `estimate(j)` beyond it. Shared by
+/// every `decide_one` caller so the resolution rule cannot drift.
+pub(crate) fn fill_lookahead(
+    scratch: &mut Vec<f64>,
+    i: usize,
+    look: usize,
+    visible: &[u64],
+    mut estimate: impl FnMut(usize) -> f64,
+) {
+    scratch.clear();
+    for j in i..i + look {
+        scratch.push(if j < visible.len() {
+            visible[j] as f64
+        } else {
+            estimate(j)
+        });
+    }
+}
+
 /// The smoothing algorithm bound to a trace.
 pub struct Smoother<'a> {
     params: SmootherParams,
@@ -402,8 +411,15 @@ impl<'a> Smoother<'a> {
     pub fn run(&self) -> SmoothingResult {
         let tau = self.params.tau;
         let k = self.params.k;
+        let h_max = self.params.h;
         let n_total = self.trace.len();
         let sizes = &self.trace.sizes;
+        // Hoisted out of the per-picture loop: the pattern model and one
+        // scratch buffer holding the resolved lookahead sizes.
+        let pattern = self.trace.pattern;
+        let pattern_n = pattern.n();
+        let estimator = self.estimator;
+        let mut sizes_ahead: Vec<f64> = Vec::with_capacity(h_max);
 
         let mut schedule = Vec::with_capacity(n_total);
         let mut depart = 0.0f64;
@@ -418,17 +434,15 @@ impl<'a> Smoother<'a> {
             let arrived_by_time = (((time + TIME_EPS) / tau).floor() as usize).min(n_total);
             let arrived = arrived_by_time.max((i + k).min(n_total));
 
-            let pattern = self.trace.pattern;
-            let estimator = self.estimator;
-            let estimate =
-                move |j: usize, visible: &[u64]| estimator.estimate(j, visible, &pattern);
+            let visible = &sizes[..arrived];
+            fill_lookahead(&mut sizes_ahead, i, h_max.min(n_total - i), visible, |j| {
+                estimator.estimate(j, visible, &pattern)
+            });
             let decision = decide_one(&DecideCtx {
                 params: &self.params,
-                estimate: &estimate,
-                pattern_n: pattern.n(),
+                sizes_ahead: &sizes_ahead,
+                pattern_n,
                 selection: self.selection,
-                visible: &sizes[..arrived],
-                horizon: Some(n_total),
                 i,
                 depart,
                 prev_rate,

@@ -1,0 +1,281 @@
+//! Offline-vendored mini `criterion`.
+//!
+//! A wall-clock micro-benchmark harness exposing the subset of the real
+//! criterion API this workspace's benches use: `Criterion`,
+//! `benchmark_group` (with `sample_size`, `throughput`, `bench_function`,
+//! `bench_with_input`, `finish`), `Bencher::iter`, `BenchmarkId`,
+//! `Throughput`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! No statistics engine, HTML reports, or regression detection — each
+//! benchmark is calibrated to a target sample duration, timed over a
+//! bounded number of samples, and summarized on stdout (median, min,
+//! throughput when configured).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Ignore criterion CLI arguments (e.g. `--bench`, filters) passed
+        // by `cargo bench`; this mini-harness always runs everything.
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares how much work one iteration performs, enabling a
+    /// work-per-second summary line.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks a closure under `id` within this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Benchmarks a closure that receives a borrowed input.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&full, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: usize,
+    /// Measured per-iteration durations (seconds), one per sample.
+    results: Vec<f64>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records per-iteration wall time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Calibration: one untimed run, then size samples so each lasts
+        // long enough for the clock to resolve (~5 ms target), capped so a
+        // slow benchmark still finishes promptly.
+        let warm = Instant::now();
+        black_box(f());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+
+        let target = Duration::from_millis(5);
+        let iters = (target.as_secs_f64() / once.as_secs_f64()).ceil() as u64;
+        self.iters_per_sample = iters.clamp(1, 10_000_000);
+
+        // Keep total time per benchmark bounded (~2 s budget).
+        let per_sample = once.as_secs_f64() * self.iters_per_sample as f64;
+        let max_samples = (2.0 / per_sample.max(1e-9)) as usize;
+        let samples = self.samples.min(max_samples.max(2));
+
+        self.results.clear();
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            let dt = t0.elapsed().as_secs_f64() / self.iters_per_sample as f64;
+            self.results.push(dt);
+        }
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a benchmark identifier (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Quantity of work one iteration represents.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        iters_per_sample: 1,
+        samples,
+        results: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.results.is_empty() {
+        println!("{name:<50} (no measurement: Bencher::iter was not called)");
+        return;
+    }
+    let mut sorted = bencher.results.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let mut line = format!(
+        "{name:<50} time: [median {} | min {}] ({} samples x {} iters)",
+        fmt_duration(median),
+        fmt_duration(min),
+        sorted.len(),
+        bencher.iters_per_sample,
+    );
+    if let Some(t) = throughput {
+        let (amount, unit) = match t {
+            Throughput::Elements(n) => (n as f64, "elem/s"),
+            Throughput::Bytes(n) => (n as f64, "B/s"),
+        };
+        line.push_str(&format!(" thrpt: {:.3e} {unit}", amount / median));
+    }
+    println!("{line}");
+}
+
+fn fmt_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Collects benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        let mut calls = 0u64;
+        group.bench_function(BenchmarkId::from_parameter(1), |b| {
+            b.iter(|| {
+                calls += 1;
+                std::hint::black_box(calls)
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+}

@@ -8,6 +8,8 @@
 //! mpeg-smooth smooth   --trace trace.csv --d 0.2 --k 1 --h 9 \
 //!                      [--policy basic|moving-average] \
 //!                      [--schedule out.csv] [--segments out.csv] [--json out.json]
+//! mpeg-smooth sweep    --trace trace.csv --d 0.1,0.2,0.3 [--k 1,3] [--h 9,18] \
+//!                      [--threads N] [--csv out.csv]
 //! mpeg-smooth verify   --trace trace.csv --d 0.2 --k 1 --h 9
 //! ```
 //!
@@ -103,6 +105,8 @@ usage:
   mpeg-smooth smooth   --trace <trace.csv> --d <seconds> [--k K] [--h H]
                        [--policy basic|moving-average] [--grid <bps>]
                        [--schedule <out.csv>] [--segments <out.csv>] [--json <out.json>]
+  mpeg-smooth sweep    --trace <trace.csv> --d <d1,d2,...> [--k <k1,k2,...>]
+                       [--h <h1,h2,...>] [--threads N] [--csv <out.csv>]
   mpeg-smooth verify   --trace <trace.csv> --d <seconds> [--k K] [--h H]
   mpeg-smooth help
 ";
@@ -117,6 +121,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
         "generate" => cmd_generate(rest, out),
         "analyze" => cmd_analyze(rest, out),
         "smooth" => cmd_smooth(rest, out),
+        "sweep" => cmd_sweep(rest, out),
         "verify" => cmd_verify(rest, out),
         "help" | "--help" | "-h" => {
             let _ = write!(out, "{USAGE}");
@@ -312,6 +317,119 @@ fn cmd_smooth(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
         smooth_metrics::save_result_json(&result, &p)
             .map_err(|e| err(format!("writing {p}: {e}")))?;
         let _ = writeln!(out, "result -> {p}");
+    }
+    Ok(0)
+}
+
+/// Parses a comma-separated list option (`--d 0.1,0.2,0.3`).
+fn take_list<T: std::str::FromStr>(
+    opts: &mut Options,
+    key: &str,
+) -> Result<Option<Vec<T>>, CliError> {
+    let Some(raw) = opts.take(key) else {
+        return Ok(None);
+    };
+    let mut values = Vec::new();
+    for part in raw.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        values.push(
+            part.parse::<T>()
+                .map_err(|_| err(format!("--{key}: cannot parse {part:?}")))?,
+        );
+    }
+    if values.is_empty() {
+        return Err(err(format!("--{key}: empty list")));
+    }
+    Ok(Some(values))
+}
+
+fn cmd_sweep(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
+    let mut opts = Options::parse(args)?;
+    let trace = load_trace(&mut opts)?;
+    let ds = take_list::<f64>(&mut opts, "d")?
+        .ok_or_else(|| err("sweep requires --d <d1,d2,...> (delay bounds)"))?;
+    let ks = take_list::<usize>(&mut opts, "k")?.unwrap_or_else(|| vec![1]);
+    let hs = take_list::<usize>(&mut opts, "h")?.unwrap_or_else(|| vec![trace.pattern.n()]);
+    let threads = smooth_sweep::resolve_threads(opts.take_parsed::<usize>("threads")?);
+    let csv_path = opts.take("csv");
+    opts.finish()?;
+
+    // Cross product d × k × h; infeasible combinations (slack below
+    // (K+1)τ) are skipped, not fatal — a sweep mixes K values on purpose.
+    let mut grid: Vec<SmootherParams> = Vec::new();
+    let mut skipped = 0usize;
+    for &d in &ds {
+        for &k in &ks {
+            for &h in &hs {
+                match SmootherParams::new(d, k, h.max(1), trace.tau()) {
+                    Ok(p) => grid.push(p),
+                    Err(_) => skipped += 1,
+                }
+            }
+        }
+    }
+    if grid.is_empty() {
+        return Err(err("sweep: every combination is infeasible"));
+    }
+
+    let estimator = PatternEstimator::default();
+    let jobs: Vec<smooth_sweep::SweepJob<'_>> = grid
+        .iter()
+        .map(|&params| smooth_sweep::SweepJob {
+            trace: &trace,
+            params,
+        })
+        .collect();
+    let results = smooth_sweep::smooth_jobs(threads, &jobs, &estimator, RateSelection::Basic);
+
+    let _ = writeln!(
+        out,
+        "sweep: {} configs x {} pictures on {threads} thread(s){}",
+        grid.len(),
+        trace.len(),
+        if skipped > 0 {
+            format!(" ({skipped} infeasible skipped)")
+        } else {
+            String::new()
+        }
+    );
+    let header = [
+        "D (s)",
+        "K",
+        "H",
+        "max delay (s)",
+        "violations",
+        "rate changes",
+        "peak Mbps",
+        "SD kbps",
+    ];
+    let _ = writeln!(out, "{}", header.join(","));
+    let mut csv = String::new();
+    csv.push_str(&header.join(","));
+    csv.push('\n');
+    for (params, result) in grid.iter().zip(&results) {
+        let m = measure(&trace, result);
+        let line = format!(
+            "{:.4},{},{},{:.4},{},{},{:.3},{:.1}",
+            params.delay_bound,
+            params.k,
+            params.h,
+            result.max_delay(),
+            result.delay_violations(),
+            m.rate_changes,
+            m.max_rate_bps / 1e6,
+            m.std_dev_bps / 1e3
+        );
+        let _ = writeln!(out, "{line}");
+        csv.push_str(&line);
+        csv.push('\n');
+    }
+    if let Some(p) = csv_path {
+        std::fs::write(&p, csv).map_err(|e| err(format!("writing {p}: {e}")))?;
+        let _ = writeln!(out, "sweep -> {p}");
     }
     Ok(0)
 }
@@ -527,6 +645,97 @@ mod tests {
             "{on_grid}/{}",
             result.schedule.len()
         );
+    }
+
+    #[test]
+    fn sweep_runs_grid_and_writes_csv() {
+        let trace_path = tmp("sweep.csv");
+        run_cli(&[
+            "generate",
+            "--sequence",
+            "driving1",
+            "--pictures",
+            "90",
+            "--out",
+            &trace_path,
+        ]);
+        let csv_path = tmp("sweep_out.csv");
+        let (code, text) = run_cli(&[
+            "sweep",
+            "--trace",
+            &trace_path,
+            "--d",
+            "0.1,0.2,0.3",
+            "--k",
+            "1,3",
+            "--threads",
+            "4",
+            "--csv",
+            &csv_path,
+        ]);
+        assert_eq!(code, 0, "{text}");
+        // 3 x 2 combos, minus the infeasible (0.1, K=3): slack < 4τ.
+        assert!(text.contains("5 configs"), "{text}");
+        assert!(text.contains("1 infeasible skipped"), "{text}");
+        let csv = std::fs::read_to_string(&csv_path).expect("sweep csv");
+        assert_eq!(csv.lines().count(), 6, "{csv}");
+    }
+
+    #[test]
+    fn sweep_output_is_thread_count_invariant() {
+        let trace_path = tmp("sweep_det.csv");
+        run_cli(&[
+            "generate",
+            "--sequence",
+            "tennis",
+            "--pictures",
+            "120",
+            "--out",
+            &trace_path,
+        ]);
+        let base = ["sweep", "--trace", &trace_path, "--d", "0.15,0.2,0.3"];
+        let run_with = |threads: &str| {
+            let mut args: Vec<&str> = base.to_vec();
+            args.extend(["--threads", threads]);
+            run_cli(&args)
+        };
+        let (code, serial) = run_with("1");
+        assert_eq!(code, 0);
+        for threads in ["2", "8"] {
+            let (code, parallel) = run_with(threads);
+            assert_eq!(code, 0);
+            // Byte-identical apart from the reported thread count line.
+            let strip = |s: &str| {
+                s.lines()
+                    .filter(|l| !l.contains("thread(s)"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            assert_eq!(strip(&serial), strip(&parallel), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_bad_lists() {
+        let trace_path = tmp("sweep_bad.csv");
+        run_cli(&[
+            "generate",
+            "--sequence",
+            "driving1",
+            "--pictures",
+            "48",
+            "--out",
+            &trace_path,
+        ]);
+        for args in [
+            vec!["sweep", "--trace", trace_path.as_str()],
+            vec!["sweep", "--trace", &trace_path, "--d", "abc"],
+            vec!["sweep", "--trace", &trace_path, "--d", "0.001"],
+        ] {
+            let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            let mut out = Vec::new();
+            assert!(run(&args, &mut out).is_err(), "{args:?}");
+        }
     }
 
     #[test]

@@ -127,26 +127,38 @@ fn cyclic_wrap(f: &StepFunction, offset: f64, period: f64) -> StepFunction {
     StepFunction::new(breaks, values)
 }
 
-/// Runs one multiplexing experiment.
+/// Runs one multiplexing experiment with the default worker count
+/// ([`smooth_sweep::default_threads`]).
 ///
 /// Each source is a seed variant of the configured sequence, looped
 /// cyclically with a uniformly random phase (drawn from `cfg.seed`), so
 /// the ensemble behaves like independent stationary viewers — scene
 /// changes and I pictures do not line up across sources.
 pub fn run_multiplex(cfg: &MultiplexConfig) -> MultiplexOutcome {
+    run_multiplex_threaded(cfg, smooth_sweep::default_threads())
+}
+
+/// [`run_multiplex`] with an explicit worker count. The outcome is
+/// bit-identical for every `threads`: all RNG draws (source variants,
+/// phase offsets) and the `offered_mean` summation stay in source order
+/// on the calling thread; only the per-source smoothing — the hot part —
+/// fans out, with results collected back in source order.
+pub fn run_multiplex_threaded(cfg: &MultiplexConfig, threads: usize) -> MultiplexOutcome {
     let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut inputs = Vec::with_capacity(cfg.sources);
     let mut offered_mean = 0.0;
     let mut period: f64 = 0.0;
 
-    let mut raw: Vec<StepFunction> = Vec::with_capacity(cfg.sources);
+    let mut traces: Vec<_> = Vec::with_capacity(cfg.sources);
     for s in 0..cfg.sources {
         let trace = generate(cfg.sequence, cfg.pictures, rng.fork(s as u64).next_u64());
         offered_mean += trace.mean_rate_bps();
-        let f = source_rate_function(&trace, cfg.mode);
         period = period.max(trace.duration());
-        raw.push(f);
+        traces.push(trace);
     }
+    let raw: Vec<StepFunction> = smooth_sweep::par_map(threads, &traces, |_, trace| {
+        source_rate_function(trace, cfg.mode)
+    });
     for f in &raw {
         let offset = rng.range_f64(0.0, period);
         inputs.push(cyclic_wrap(f, offset, period));
@@ -164,29 +176,46 @@ pub fn run_multiplex(cfg: &MultiplexConfig) -> MultiplexOutcome {
     }
 }
 
-/// Sweeps buffer sizes at a fixed capacity, returning
-/// `(buffer_bits, unsmoothed_loss, smoothed_loss)` rows — the X-mux table.
+/// Sweeps buffer sizes at a fixed capacity with the default worker count,
+/// returning `(buffer_bits, unsmoothed_loss, smoothed_loss)` rows — the
+/// X-mux table.
 pub fn buffer_sweep(
     base: &MultiplexConfig,
     params: SmootherParams,
     buffers: &[f64],
 ) -> Vec<(f64, f64, f64)> {
-    buffers
-        .iter()
-        .map(|&buffer_bits| {
-            let raw = run_multiplex(&MultiplexConfig {
+    buffer_sweep_threaded(base, params, buffers, smooth_sweep::default_threads())
+}
+
+/// [`buffer_sweep`] with an explicit worker count. Each buffer point is
+/// an independent pair of runs, so the sweep fans out across points
+/// (each run kept serial inside to avoid nested thread explosions) and
+/// rows come back in `buffers` order.
+pub fn buffer_sweep_threaded(
+    base: &MultiplexConfig,
+    params: SmootherParams,
+    buffers: &[f64],
+    threads: usize,
+) -> Vec<(f64, f64, f64)> {
+    smooth_sweep::par_map(threads, buffers, |_, &buffer_bits| {
+        let raw = run_multiplex_threaded(
+            &MultiplexConfig {
                 buffer_bits,
                 mode: SourceMode::Unsmoothed,
                 ..*base
-            });
-            let smoothed = run_multiplex(&MultiplexConfig {
+            },
+            1,
+        );
+        let smoothed = run_multiplex_threaded(
+            &MultiplexConfig {
                 buffer_bits,
                 mode: SourceMode::Smoothed { params },
                 ..*base
-            });
-            (buffer_bits, raw.loss_ratio(), smoothed.loss_ratio())
-        })
-        .collect()
+            },
+            1,
+        );
+        (buffer_bits, raw.loss_ratio(), smoothed.loss_ratio())
+    })
 }
 
 #[cfg(test)]
@@ -218,6 +247,26 @@ mod tests {
         let a = run_multiplex(&base_cfg());
         let b = run_multiplex(&base_cfg());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn multiplex_parallel_matches_serial_exactly() {
+        let serial = run_multiplex_threaded(&base_cfg(), 1);
+        for threads in [2, 4, 16] {
+            let parallel = run_multiplex_threaded(&base_cfg(), threads);
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn buffer_sweep_parallel_matches_serial_exactly() {
+        // Bit-identical rows (f64 ==, no tolerance) for any worker count.
+        let buffers = [0.0, 0.25e6, 1.0e6, 4.0e6];
+        let serial = buffer_sweep_threaded(&base_cfg(), smoothing(), &buffers, 1);
+        for threads in [2, 8] {
+            let parallel = buffer_sweep_threaded(&base_cfg(), smoothing(), &buffers, threads);
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
     }
 
     #[test]

@@ -38,7 +38,10 @@ pub mod packetizer;
 pub mod policer;
 pub mod transport;
 
-pub use experiment::{buffer_sweep, run_multiplex, MultiplexConfig, MultiplexOutcome, SourceMode};
+pub use experiment::{
+    buffer_sweep, buffer_sweep_threaded, run_multiplex, run_multiplex_threaded, MultiplexConfig,
+    MultiplexOutcome, SourceMode,
+};
 pub use mux::{CellMux, CellMuxStats, FluidMux, FluidMuxStats};
 pub use packetizer::{cell_times, merge_cell_streams, CELL_PAYLOAD_BITS, CELL_WIRE_BITS};
 pub use policer::{min_bucket_for, PoliceStats, TokenBucket};

@@ -208,6 +208,9 @@ mod damage_tests {
     use super::*;
 
     #[test]
+    // single_range_in_vec_init: one-element range slices are the point
+    // of these boundary cases, not a typo for [start, end].
+    #[allow(clippy::single_range_in_vec_init)]
     fn units_damaged_counts_intersections() {
         let units = vec![0..100, 100..200, 200..300];
         let lost = vec![150..160, 295..320];

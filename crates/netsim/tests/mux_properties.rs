@@ -14,7 +14,11 @@ fn arb_source() -> impl Strategy<Value = StepFunction> {
         let mut segs = Vec::with_capacity(pieces.len());
         let mut t = 0.0;
         for (dur, rate) in pieces {
-            segs.push(RateSegment { start: t, end: t + dur, rate });
+            segs.push(RateSegment {
+                start: t,
+                end: t + dur,
+                rate,
+            });
             t += dur;
         }
         StepFunction::from_segments(&segs)
@@ -99,7 +103,7 @@ proptest! {
         // Overprovisioned: capacity 2x the peak (cell mux carries 53/48
         // overhead, so 2x covers it), generous buffers.
         let over_fluid = FluidMux { capacity_bps: 2.0 * peak, buffer_bits: 1.0e6 }
-            .run(&[source.clone()], 0.0, horizon);
+            .run(std::slice::from_ref(&source), 0.0, horizon);
         let over_cell =
             CellMux { capacity_bps: 2.0 * peak, buffer_cells: 256 }.run(&cells);
         prop_assert_eq!(over_fluid.loss_ratio(), 0.0);

@@ -1,0 +1,342 @@
+//! Offline-vendored mini-serde.
+//!
+//! This workspace is built in a hermetic environment with no access to
+//! crates.io, so the real `serde` cannot be fetched. This crate provides
+//! the *subset* of serde's public API that the workspace actually uses —
+//! the `Serialize`/`Deserialize` traits, derive macros (via the companion
+//! `serde_derive` crate), and the `with`-module adapter surface
+//! (`serialize_some`/`serialize_none`, `Option::<T>::deserialize`) — built
+//! on a self-describing [`value::Value`] data model instead of serde's
+//! visitor machinery. `serde_json` (also vendored) serializes that model.
+//!
+//! The API is intentionally source-compatible with real serde for every
+//! use in this repository, so swapping the real crates back in (by
+//! repointing the workspace dependencies at crates.io) requires no source
+//! changes elsewhere.
+
+use std::fmt;
+
+pub mod value;
+
+/// A data structure that can be serialized into the [`value::Value`] model.
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A format that can consume the [`value::Value`] model.
+///
+/// Unlike real serde's 30-method serializer, everything funnels through
+/// [`serialize_value`](Serializer::serialize_value); the `Option` helpers
+/// exist because `#[serde(with = "...")]` adapter modules call them.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error;
+
+    /// Consumes one fully-built value.
+    fn serialize_value(self, v: value::Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes `Some(value)` (used by `with`-adapters).
+    fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(value::to_value(v))
+    }
+
+    /// Serializes `None` (used by `with`-adapters).
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(value::Value::Null)
+    }
+}
+
+/// A data structure that can be reconstructed from the value model.
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A format that can produce the value model.
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+
+    /// Surrenders the underlying value.
+    fn take_value(self) -> Result<value::Value, Self::Error>;
+}
+
+pub mod ser {
+    pub use crate::{Serialize, Serializer};
+}
+
+pub mod de {
+    use std::fmt;
+
+    pub use crate::{Deserialize, Deserializer};
+
+    /// Error constructor contract for deserialization errors.
+    pub trait Error: Sized + fmt::Debug + fmt::Display {
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// A type deserializable without borrowing from the input.
+    pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+    impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Serialize implementations for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_int {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(value::Value::Int(*self as i64))
+            }
+        }
+    )*};
+}
+ser_int!(i8 i16 i32 i64 isize);
+
+macro_rules! ser_uint {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(value::Value::UInt(*self as u64))
+            }
+        }
+    )*};
+}
+ser_uint!(u8 u16 u32 u64 usize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(value::Value::Float(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(value::Value::Float(f64::from(*self)))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(value::Value::Bool(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(value::Value::Str(self.to_owned()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(value::Value::Str(self.clone()))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => s.serialize_some(v),
+            None => s.serialize_none(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(value::Value::Array(
+            self.iter().map(value::to_value).collect(),
+        ))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for std::ops::Range<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(value::Value::Object(vec![
+            ("start".to_owned(), value::to_value(&self.start)),
+            ("end".to_owned(), value::to_value(&self.end)),
+        ]))
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(value::Value::Array(vec![$(value::to_value(&self.$n)),+]))
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize implementations for std types
+// ---------------------------------------------------------------------------
+
+fn want<E: de::Error>(expected: &str, got: &value::Value) -> E {
+    E::custom(format!("expected {expected}, found {}", got.kind()))
+}
+
+macro_rules! de_int {
+    ($($t:ty)*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let wide: i128 = match v {
+                    value::Value::Int(i) => i as i128,
+                    value::Value::UInt(u) => u as i128,
+                    ref other => return Err(want("an integer", other)),
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    de::Error::custom(format!(
+                        "integer {wide} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+de_int!(i8 i16 i32 i64 isize u8 u16 u32 u64 usize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        match v {
+            value::Value::Float(f) => Ok(f),
+            value::Value::Int(i) => Ok(i as f64),
+            value::Value::UInt(u) => Ok(u as f64),
+            other => Err(want("a number", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|f| f as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            value::Value::Bool(b) => Ok(b),
+            other => Err(want("a boolean", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            value::Value::Str(s) => Ok(s),
+            other => Err(want("a string", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            value::Value::Null => Ok(None),
+            v => T::deserialize(value::ValueDeserializer::<D::Error>::new(v)).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            value::Value::Array(items) => items
+                .into_iter()
+                .map(|it| T::deserialize(value::ValueDeserializer::<D::Error>::new(it)))
+                .collect(),
+            other => Err(want("an array", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::ops::Range<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            value::Value::Object(fields) => {
+                let mut start = None;
+                let mut end = None;
+                for (k, v) in fields {
+                    let slot = match k.as_str() {
+                        "start" => &mut start,
+                        "end" => &mut end,
+                        _ => continue,
+                    };
+                    *slot = Some(T::deserialize(value::ValueDeserializer::<D::Error>::new(
+                        v,
+                    ))?);
+                }
+                match (start, end) {
+                    (Some(start), Some(end)) => Ok(start..end),
+                    _ => Err(de::Error::custom("Range requires `start` and `end`")),
+                }
+            }
+            other => Err(want("a range object", &other)),
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal: $($n:tt $t:ident),+))*) => {$(
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<__De: Deserializer<'de>>(d: __De) -> Result<Self, __De::Error> {
+                match d.take_value()? {
+                    value::Value::Array(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok(($({
+                            let _ = $n; // positional marker
+                            $t::deserialize(value::ValueDeserializer::<__De::Error>::new(
+                                it.next().expect("length checked"),
+                            ))?
+                        },)+))
+                    }
+                    other => Err(want(
+                        concat!("an array of length ", $len),
+                        &other,
+                    )),
+                }
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1: 0 A)
+    (2: 0 A, 1 B)
+    (3: 0 A, 1 B, 2 C)
+    (4: 0 A, 1 B, 2 C, 3 D)
+}
+
+/// Formats a value for error messages without exposing the full payload.
+impl fmt::Display for value::Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind())
+    }
+}

@@ -1,0 +1,137 @@
+//! The self-describing data model every (de)serializer funnels through.
+
+use std::convert::Infallible;
+use std::marker::PhantomData;
+
+use crate::{de, Deserialize, Deserializer, Serialize, Serializer};
+
+/// A JSON-shaped value tree.
+///
+/// Object fields keep insertion order (a `Vec` of pairs, not a map), so
+/// serialized output is deterministic and mirrors declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Human-readable kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Int(_) | Value::UInt(_) => "an integer",
+            Value::Float(_) => "a float",
+            Value::Str(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        }
+    }
+}
+
+/// The serializer that builds a [`Value`]; it cannot fail.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Infallible;
+
+    fn serialize_value(self, v: Value) -> Result<Value, Infallible> {
+        Ok(v)
+    }
+}
+
+/// Converts any serializable value into the data model.
+pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Value {
+    match v.serialize(ValueSerializer) {
+        Ok(value) => value,
+        Err(never) => match never {},
+    }
+}
+
+/// A deserializer that hands back an owned [`Value`], generic over the
+/// caller's error type so it can plug into any `Deserialize` impl.
+pub struct ValueDeserializer<E> {
+    value: Value,
+    _marker: PhantomData<fn() -> E>,
+}
+
+impl<E> ValueDeserializer<E> {
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer {
+            value,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: de::Error> Deserializer<'de> for ValueDeserializer<E> {
+    type Error = E;
+
+    fn take_value(self) -> Result<Value, E> {
+        Ok(self.value)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by the derive-generated code
+// ---------------------------------------------------------------------------
+
+/// Unwraps a value expected to be an object (derive: struct bodies).
+pub fn into_object<E: de::Error>(v: Value, ty: &str) -> Result<Vec<(String, Value)>, E> {
+    match v {
+        Value::Object(fields) => Ok(fields),
+        other => Err(E::custom(format!(
+            "expected {ty} as an object, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+fn find<'a>(obj: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+    obj.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+/// Deserializes a required field (derive: plain struct fields).
+pub fn get_field<T, E>(obj: &[(String, Value)], name: &str) -> Result<T, E>
+where
+    T: for<'x> Deserialize<'x>,
+    E: de::Error,
+{
+    match find(obj, name) {
+        Some(v) => T::deserialize(ValueDeserializer::<E>::new(v.clone())),
+        None => Err(E::custom(format!("missing field `{name}`"))),
+    }
+}
+
+/// Deserializes a `#[serde(default)]` field: missing means `Default`.
+pub fn get_field_default<T, E>(obj: &[(String, Value)], name: &str) -> Result<T, E>
+where
+    T: for<'x> Deserialize<'x> + Default,
+    E: de::Error,
+{
+    match find(obj, name) {
+        Some(v) => T::deserialize(ValueDeserializer::<E>::new(v.clone())),
+        None => Ok(T::default()),
+    }
+}
+
+/// Fetches a field for a `#[serde(with = "...")]` adapter; a missing field
+/// is surfaced as `Null` so `Option`-based adapters treat it as `None`.
+pub fn field_or_null(obj: &[(String, Value)], name: &str) -> Value {
+    find(obj, name).cloned().unwrap_or(Value::Null)
+}
+
+/// Error helper for unknown enum variants (derive: enums).
+pub fn unknown_variant<T, E: de::Error>(ty: &str, variant: &str) -> Result<T, E> {
+    Err(E::custom(format!(
+        "unknown variant `{variant}` for enum {ty}"
+    )))
+}

@@ -1,0 +1,525 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored mini-serde.
+//!
+//! Implemented directly on `proc_macro` token trees (no `syn`/`quote`,
+//! which cannot be fetched in this hermetic build environment). Supports
+//! exactly the shapes this workspace uses: non-generic named-field
+//! structs, and enums with unit / named-field / tuple variants, plus the
+//! field attributes `#[serde(default)]` and `#[serde(with = "path")]`.
+//! Anything else panics at derive time so unsupported shapes surface as
+//! compile errors rather than silent misbehavior.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+struct Field {
+    name: String,
+    ty: String,
+    default: bool,
+    with: Option<String>,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = gen_serialize(&item);
+    src.parse()
+        .unwrap_or_else(|e| panic!("serde_derive generated invalid Serialize impl: {e}"))
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = gen_deserialize(&item);
+    src.parse()
+        .unwrap_or_else(|e| panic!("serde_derive generated invalid Deserialize impl: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it: TokenIter = input.into_iter().peekable();
+    loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Outer attribute (doc comment, cfg, ...): skip the group.
+                it.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(&mut it, "struct name");
+                match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        return Item {
+                            name,
+                            body: Body::Struct(parse_fields(g.stream())),
+                        };
+                    }
+                    other => panic!(
+                        "serde_derive: only non-generic named-field structs are supported \
+                         (struct {name}, found {other:?})"
+                    ),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(&mut it, "enum name");
+                match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        return Item {
+                            name,
+                            body: Body::Enum(parse_variants(g.stream())),
+                        };
+                    }
+                    other => panic!(
+                        "serde_derive: only non-generic enums are supported \
+                         (enum {name}, found {other:?})"
+                    ),
+                }
+            }
+            Some(other) => panic!("serde_derive: unexpected token {other}"),
+            None => panic!("serde_derive: no struct or enum found in input"),
+        }
+    }
+}
+
+fn expect_ident(it: &mut TokenIter, what: &str) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected {what}, found {other:?}"),
+    }
+}
+
+/// Parses `#[serde(...)]` options out of one attribute group's content.
+fn scan_serde_attr(stream: TokenStream, default: &mut bool, with: &mut Option<String>) {
+    let mut it: TokenIter = stream.into_iter().peekable();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return, // #[doc = ...], #[cfg(...)], ...: not ours
+    }
+    let Some(TokenTree::Group(g)) = it.next() else {
+        panic!("serde_derive: malformed #[serde] attribute");
+    };
+    let mut inner: TokenIter = g.stream().into_iter().peekable();
+    while let Some(tok) = inner.next() {
+        match tok {
+            TokenTree::Ident(id) if id.to_string() == "default" => *default = true,
+            TokenTree::Ident(id) if id.to_string() == "with" => {
+                match (inner.next(), inner.next()) {
+                    (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                        if eq.as_char() == '=' =>
+                    {
+                        let s = lit.to_string();
+                        *with = Some(s.trim_matches('"').to_string());
+                    }
+                    other => panic!("serde_derive: malformed #[serde(with = ...)]: {other:?}"),
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!("serde_derive: unsupported #[serde({other})] option"),
+        }
+    }
+}
+
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let mut it: TokenIter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let mut default = false;
+        let mut with = None;
+        while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            it.next();
+            match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    scan_serde_attr(g.stream(), &mut default, &mut with);
+                }
+                other => panic!("serde_derive: malformed attribute: {other:?}"),
+            }
+        }
+        let Some(mut tok) = it.next() else { break };
+        if matches!(&tok, TokenTree::Ident(i) if i.to_string() == "pub") {
+            tok = it.next().expect("serde_derive: field after `pub`");
+            if matches!(&tok, TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+                tok = it.next().expect("serde_derive: field after `pub(...)`");
+            }
+        }
+        let TokenTree::Ident(name) = tok else {
+            panic!("serde_derive: expected field name, found {tok}");
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field name, found {other:?}"),
+        }
+        let mut depth: i64 = 0;
+        let mut ty = TokenStream::new();
+        while let Some(peeked) = it.peek() {
+            if depth == 0 {
+                if let TokenTree::Punct(p) = peeked {
+                    if p.as_char() == ',' {
+                        break;
+                    }
+                }
+            }
+            let t = it.next().expect("peeked");
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    _ => {}
+                }
+            }
+            ty.extend([t]);
+        }
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            it.next();
+        }
+        fields.push(Field {
+            name: name.to_string(),
+            ty: ty.to_string(),
+            default,
+            with,
+        });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut it: TokenIter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            it.next();
+            it.next(); // attribute group
+        }
+        let Some(tok) = it.next() else { break };
+        let TokenTree::Ident(name) = tok else {
+            panic!("serde_derive: expected variant name, found {tok}");
+        };
+        let kind = if let Some(TokenTree::Group(g)) = it.peek() {
+            let delim = g.delimiter();
+            let inner = g.stream();
+            match delim {
+                Delimiter::Brace => {
+                    it.next();
+                    VariantKind::Named(parse_fields(inner))
+                }
+                Delimiter::Parenthesis => {
+                    it.next();
+                    VariantKind::Tuple(count_top_level_items(inner))
+                }
+                _ => VariantKind::Unit,
+            }
+        } else {
+            VariantKind::Unit
+        };
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            it.next();
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            kind,
+        });
+    }
+    variants
+}
+
+/// Number of comma-separated items at angle-bracket depth zero.
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let mut depth: i64 = 0;
+    let mut items = 0usize;
+    let mut in_item = false;
+    for t in stream {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    in_item = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        if !in_item {
+            items += 1;
+            in_item = true;
+        }
+    }
+    items
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (string-built, then reparsed)
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __s: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n"
+    ));
+    match &item.body {
+        Body::Struct(fields) => {
+            out.push_str(&ser_object_body(fields, "self.", "__s"));
+        }
+        Body::Enum(variants) => {
+            out.push_str("match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => out.push_str(&format!(
+                        "{name}::{vname} => ::serde::Serializer::serialize_value(__s, \
+                         ::serde::value::Value::Str(::std::string::String::from(\"{vname}\"))),\n"
+                    )),
+                    VariantKind::Named(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        out.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n",
+                            binders.join(", ")
+                        ));
+                        out.push_str(
+                            "let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::value::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fields {
+                            assert!(
+                                f.with.is_none() && !f.default,
+                                "serde_derive: field attributes inside enum variants \
+                                 are not supported"
+                            );
+                            out.push_str(&format!(
+                                "__fields.push((::std::string::String::from(\"{0}\"), \
+                                 ::serde::value::to_value({0})));\n",
+                                f.name
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "::serde::Serializer::serialize_value(__s, \
+                             ::serde::value::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{vname}\"), \
+                             ::serde::value::Value::Object(__fields))]))\n}}\n"
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        out.push_str(&format!("{name}::{vname}({}) => {{\n", binders.join(", ")));
+                        let payload = if *arity == 1 {
+                            "::serde::value::to_value(__f0)".to_string()
+                        } else {
+                            format!(
+                                "::serde::value::Value::Array(::std::vec![{}])",
+                                binders
+                                    .iter()
+                                    .map(|b| format!("::serde::value::to_value({b})"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )
+                        };
+                        out.push_str(&format!(
+                            "::serde::Serializer::serialize_value(__s, \
+                             ::serde::value::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{vname}\"), {payload})]))\n}}\n"
+                        ));
+                    }
+                }
+            }
+            out.push_str("}\n");
+        }
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+/// Shared struct-shaped serialization: push each field, emit the object.
+fn ser_object_body(fields: &[Field], access_prefix: &str, ser: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> = \
+         ::std::vec::Vec::with_capacity({});\n",
+        fields.len()
+    ));
+    for f in fields {
+        let fname = &f.name;
+        match &f.with {
+            Some(path) => out.push_str(&format!(
+                "__fields.push((::std::string::String::from(\"{fname}\"), \
+                 match {path}::serialize(&{access_prefix}{fname}, \
+                 ::serde::value::ValueSerializer) {{ \
+                 ::core::result::Result::Ok(__v) => __v, \
+                 ::core::result::Result::Err(__e) => match __e {{}} }}));\n"
+            )),
+            None => out.push_str(&format!(
+                "__fields.push((::std::string::String::from(\"{fname}\"), \
+                 ::serde::value::to_value(&{access_prefix}{fname})));\n"
+            )),
+        }
+    }
+    out.push_str(&format!(
+        "::serde::Serializer::serialize_value({ser}, ::serde::value::Value::Object(__fields))\n"
+    ));
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D) \
+         -> ::core::result::Result<Self, __D::Error> {{\n\
+         let __value = ::serde::Deserializer::take_value(__d)?;\n"
+    ));
+    match &item.body {
+        Body::Struct(fields) => {
+            out.push_str(&format!(
+                "let __obj = ::serde::value::into_object::<__D::Error>(__value, \"{name}\")?;\n\
+                 ::core::result::Result::Ok({name} {{\n"
+            ));
+            for f in fields {
+                out.push_str(&de_field(f, "__obj"));
+            }
+            out.push_str("})\n");
+        }
+        Body::Enum(variants) => {
+            let units: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .collect();
+            let payloads: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .collect();
+            out.push_str("match __value {\n");
+            if !units.is_empty() {
+                out.push_str("::serde::value::Value::Str(__s) => match __s.as_str() {\n");
+                for v in &units {
+                    out.push_str(&format!(
+                        "\"{0}\" => ::core::result::Result::Ok({name}::{0}),\n",
+                        v.name
+                    ));
+                }
+                out.push_str(&format!(
+                    "__other => ::serde::value::unknown_variant::<Self, __D::Error>(\
+                     \"{name}\", __other),\n}},\n"
+                ));
+            }
+            if !payloads.is_empty() {
+                out.push_str(
+                    "::serde::value::Value::Object(__entries) if __entries.len() == 1 => {\n\
+                     let (__tag, __inner) = __entries.into_iter().next().expect(\"len checked\");\n\
+                     match __tag.as_str() {\n",
+                );
+                for v in &payloads {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => unreachable!(),
+                        VariantKind::Named(fields) => {
+                            out.push_str(&format!(
+                                "\"{vname}\" => {{\n\
+                                 let __obj = ::serde::value::into_object::<__D::Error>(\
+                                 __inner, \"{name}::{vname}\")?;\n\
+                                 ::core::result::Result::Ok({name}::{vname} {{\n"
+                            ));
+                            for f in fields {
+                                out.push_str(&de_field(f, "__obj"));
+                            }
+                            out.push_str("})\n}\n");
+                        }
+                        VariantKind::Tuple(arity) => {
+                            if *arity == 1 {
+                                out.push_str(&format!(
+                                    "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(\
+                                     ::serde::Deserialize::deserialize(\
+                                     ::serde::value::ValueDeserializer::<__D::Error>::new(\
+                                     __inner))?)),\n"
+                                ));
+                            } else {
+                                let elems: Vec<String> = (0..*arity)
+                                    .map(|_| {
+                                        "::serde::Deserialize::deserialize(\
+                                         ::serde::value::ValueDeserializer::<__D::Error>::new(\
+                                         __items.next().expect(\"len checked\")))?"
+                                            .to_string()
+                                    })
+                                    .collect();
+                                out.push_str(&format!(
+                                    "\"{vname}\" => match __inner {{\n\
+                                     ::serde::value::Value::Array(__a) if __a.len() == {arity} \
+                                     => {{\n\
+                                     let mut __items = __a.into_iter();\n\
+                                     ::core::result::Result::Ok({name}::{vname}({}))\n}}\n\
+                                     __bad => ::core::result::Result::Err(\
+                                     <__D::Error as ::serde::de::Error>::custom(::std::format!(\
+                                     \"expected an array for {name}::{vname}, found {{}}\", \
+                                     __bad.kind()))),\n}},\n",
+                                    elems.join(", ")
+                                ));
+                            }
+                        }
+                    }
+                }
+                out.push_str(&format!(
+                    "__other => ::serde::value::unknown_variant::<Self, __D::Error>(\
+                     \"{name}\", __other),\n}}\n}},\n"
+                ));
+            }
+            out.push_str(&format!(
+                "__other => ::core::result::Result::Err(\
+                 <__D::Error as ::serde::de::Error>::custom(::std::format!(\
+                 \"invalid value for enum {name}: {{}}\", __other.kind()))),\n}}\n"
+            ));
+        }
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+fn de_field(f: &Field, obj: &str) -> String {
+    let fname = &f.name;
+    let ty = &f.ty;
+    match (&f.with, f.default) {
+        (Some(path), _) => format!(
+            "{fname}: {path}::deserialize(\
+             ::serde::value::ValueDeserializer::<__D::Error>::new(\
+             ::serde::value::field_or_null(&{obj}, \"{fname}\")))?,\n"
+        ),
+        (None, true) => format!(
+            "{fname}: ::serde::value::get_field_default::<{ty}, __D::Error>(\
+             &{obj}, \"{fname}\")?,\n"
+        ),
+        (None, false) => format!(
+            "{fname}: ::serde::value::get_field::<{ty}, __D::Error>(&{obj}, \"{fname}\")?,\n"
+        ),
+    }
+}

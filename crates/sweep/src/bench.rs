@@ -1,0 +1,133 @@
+//! Wall-clock recording for sweep runs: the `BENCH_sweep.json` report.
+//!
+//! The experiments binary times each figure's generation and serializes a
+//! [`SweepBenchReport`] so perf regressions across commits are diffable
+//! (thread count, per-figure wall seconds, serial baselines where
+//! measured).
+
+use std::path::Path;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// Timing for one named unit of sweep work (usually a figure).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureTiming {
+    pub name: String,
+    /// Wall time with the report's thread count.
+    pub wall_seconds: f64,
+    /// Wall time of the same work forced serial, when it was measured
+    /// (`None` when the run skipped the baseline).
+    #[serde(default)]
+    pub serial_seconds: Option<f64>,
+}
+
+impl FigureTiming {
+    /// Serial-over-parallel speedup, when both sides were measured.
+    pub fn speedup(&self) -> Option<f64> {
+        self.serial_seconds.map(|s| {
+            if self.wall_seconds > 0.0 {
+                s / self.wall_seconds
+            } else {
+                1.0
+            }
+        })
+    }
+}
+
+/// The on-disk `BENCH_sweep.json` document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepBenchReport {
+    /// Worker threads the timed runs used.
+    pub threads: usize,
+    /// Cores the machine reported at run time.
+    pub available_cores: usize,
+    pub figures: Vec<FigureTiming>,
+    pub total_seconds: f64,
+}
+
+impl SweepBenchReport {
+    pub fn new(threads: usize) -> Self {
+        SweepBenchReport {
+            threads,
+            available_cores: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            figures: Vec::new(),
+            total_seconds: 0.0,
+        }
+    }
+
+    /// Times `f`, records it under `name`, and returns its output.
+    pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let out = f();
+        let dt = t0.elapsed().as_secs_f64();
+        self.figures.push(FigureTiming {
+            name: name.to_string(),
+            wall_seconds: dt,
+            serial_seconds: None,
+        });
+        self.total_seconds += dt;
+        out
+    }
+
+    /// Attaches a serial-baseline wall time to an already-recorded figure.
+    pub fn set_serial_baseline(&mut self, name: &str, serial_seconds: f64) {
+        if let Some(fig) = self.figures.iter_mut().find(|f| f.name == name) {
+            fig.serial_seconds = Some(serial_seconds);
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut report = SweepBenchReport::new(4);
+        let x = report.time("fig7", || 41 + 1);
+        assert_eq!(x, 42);
+        report.time("fig8", || ());
+        report.set_serial_baseline("fig7", 2.0);
+        assert_eq!(report.figures.len(), 2);
+        assert!(report.total_seconds >= 0.0);
+
+        let json = report.to_json();
+        let back: SweepBenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert!(back.figures[0].serial_seconds.is_some());
+        assert!(back.figures[1].serial_seconds.is_none());
+    }
+
+    #[test]
+    fn speedup_needs_both_measurements() {
+        let fig = FigureTiming {
+            name: "f".into(),
+            wall_seconds: 1.0,
+            serial_seconds: Some(3.0),
+        };
+        assert_eq!(fig.speedup(), Some(3.0));
+        let fig = FigureTiming {
+            name: "f".into(),
+            wall_seconds: 1.0,
+            serial_seconds: None,
+        };
+        assert_eq!(fig.speedup(), None);
+    }
+}

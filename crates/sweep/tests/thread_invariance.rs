@@ -1,0 +1,55 @@
+//! Property: sweep output never depends on the worker count.
+//!
+//! `par_map` must equal the serial map for any thread count, and a
+//! `smooth_with` grid over a random trace must come back bit-identical
+//! (full `SmoothingResult` equality — schedules, rates, departures)
+//! whether computed on 1 thread or many.
+
+use proptest::prelude::*;
+use smooth_core::estimate::PatternEstimator;
+use smooth_core::{RateSelection, SmootherParams};
+use smooth_mpeg::{GopPattern, Resolution};
+use smooth_sweep::{par_map, smooth_grid};
+use smooth_trace::VideoTrace;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn par_map_equals_serial_map(
+        items in proptest::collection::vec(0u64..1_000_000, 0..80),
+        threads in 1usize..17,
+    ) {
+        let expected: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x.wrapping_mul(2654435761).rotate_left((i % 64) as u32))
+            .collect();
+        let got = par_map(threads, &items, |i, &x| {
+            x.wrapping_mul(2654435761).rotate_left((i % 64) as u32)
+        });
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn smoothing_grid_is_thread_count_invariant(
+        sizes in proptest::collection::vec(1_000u64..400_000, 27..120),
+        d_idx in 0usize..3,
+        k in 1usize..4,
+        h in 1usize..20,
+        threads in 2usize..17,
+    ) {
+        let pattern = GopPattern::new(3, 9).expect("valid pattern");
+        let trace = VideoTrace::new("prop", pattern, Resolution::VGA, 30.0, sizes)
+            .expect("valid trace");
+        let d = [0.15, 0.2, 0.35][d_idx];
+        let params = SmootherParams::at_30fps(d, k, h);
+        prop_assume!(params.is_ok());
+        let params = vec![params.expect("checked feasible")];
+        let est = PatternEstimator::default();
+
+        let serial = smooth_grid(1, &[&trace], &params, &est, RateSelection::Basic);
+        let parallel = smooth_grid(threads, &[&trace], &params, &est, RateSelection::Basic);
+        prop_assert_eq!(serial, parallel);
+    }
+}
