@@ -1,0 +1,43 @@
+//! Hot-path cost per picture: incremental lookahead engine vs the naive
+//! reference it replaced, on the synthetic throughput trace at `H = 32`.
+//!
+//! The `engine` row is `smooth_with_scratch` (sliding `LookaheadWindow`,
+//! closed-form pattern estimate, zero per-picture allocations after
+//! warm-up); `reference` is the pre-PR per-picture refill with the
+//! walk-back estimator. Both compute bit-identical schedules (pinned by
+//! `crates/core/tests/incremental_props.rs`), so the ratio of the two
+//! rows is pure hot-path speedup. `Throughput::Elements` reports
+//! pictures/second directly.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use smooth_bench::throughput::{synthetic_trace, throughput_params};
+use smooth_core::reference::{smooth_reference_with, ReferencePatternEstimator};
+use smooth_core::{smooth_with_scratch, RateSelection, SmoothScratch};
+
+/// Benchmark on a 100k-picture slice of the synthetic trace: long enough
+/// to dominate warm-up, short enough for Criterion's repeated sampling.
+const BENCH_PICTURES: usize = 100_000;
+
+fn hotpath(c: &mut Criterion) {
+    let trace = synthetic_trace(BENCH_PICTURES);
+    let params = throughput_params();
+
+    let mut group = c.benchmark_group("hotpath");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+
+    let mut scratch = SmoothScratch::new();
+    group.bench_function("engine", |b| {
+        b.iter(|| smooth_with_scratch(&trace, params, &mut scratch))
+    });
+
+    let estimator = ReferencePatternEstimator::default();
+    group.bench_function("reference", |b| {
+        b.iter(|| smooth_reference_with(&trace, params, &estimator, RateSelection::Basic))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, hotpath);
+criterion_main!(benches);

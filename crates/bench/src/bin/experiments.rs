@@ -11,13 +11,17 @@
 //!
 //! Sweep-heavy figures fan out over `--threads` workers (default: all
 //! cores; output is bit-identical for any value). Every run times each
-//! figure and writes a `BENCH_sweep.json` perf report; when running
-//! parallel, the Fig 7/8 grids are re-run serially so the report records
-//! the speedup.
+//! figure and writes a `BENCH_sweep.json` perf report recording the
+//! thread count with its provenance, the git commit, a serial re-run of
+//! *every* figure when the main run was parallel (so per-figure speedups
+//! are tracked suite-wide), and hot-path throughput (pictures/sec for the
+//! incremental engine vs the naive reference on a synthetic 1M-picture
+//! trace at H = 32, plus a parallel batch over the same workload).
 
 use std::time::Instant;
 
 use smooth_bench::experiments;
+use smooth_bench::throughput;
 use smooth_sweep::bench::SweepBenchReport;
 
 fn main() {
@@ -72,7 +76,7 @@ fn main() {
         }
     }
 
-    let threads = smooth_sweep::resolve_threads(threads_opt);
+    let (threads, thread_source) = smooth_sweep::resolve_threads_with_source(threads_opt);
     smooth_sweep::set_default_threads(threads);
 
     let all = experiments::all();
@@ -93,7 +97,7 @@ fn main() {
             .collect()
     };
 
-    let mut report = SweepBenchReport::new(threads);
+    let mut report = SweepBenchReport::with_thread_source(threads, thread_source);
     for &&(name, gen) in &selected {
         println!("==================== {name} ====================");
         let tables = report.time(name, gen);
@@ -122,19 +126,44 @@ fn main() {
         }
     }
 
-    // Serial re-runs of the grid-heavy figures so BENCH_sweep.json records
-    // the parallel speedup (skipped when the run was serial anyway).
+    // Serial re-runs of every selected figure so BENCH_sweep.json records
+    // per-figure parallel speedups suite-wide. When the main run was
+    // already serial, each figure is its own baseline — copy the wall time
+    // instead of paying for a second identical run.
     if threads > 1 {
         smooth_sweep::set_default_threads(1);
         for &&(name, gen) in &selected {
-            if name == "fig7" || name == "fig8" {
-                let t0 = Instant::now();
-                std::hint::black_box(gen());
-                report.set_serial_baseline(name, t0.elapsed().as_secs_f64());
-            }
+            let t0 = Instant::now();
+            std::hint::black_box(gen());
+            report.set_serial_baseline(name, t0.elapsed().as_secs_f64());
         }
         smooth_sweep::set_default_threads(threads);
+    } else {
+        let copies: Vec<(String, f64)> = report
+            .figures
+            .iter()
+            .map(|f| (f.name.clone(), f.wall_seconds))
+            .collect();
+        for (name, wall) in copies {
+            report.set_serial_baseline(&name, wall);
+        }
     }
+
+    // Hot-path throughput: the acceptance gauge for the incremental
+    // lookahead engine (see crates/bench/src/throughput.rs).
+    println!("==================== throughput ====================");
+    for record in throughput::standard_suite(threads) {
+        println!(
+            "{}: {:.0} pictures/s ({} pictures, {:.3}s, {} thread(s))",
+            record.name,
+            record.pictures_per_sec,
+            record.pictures,
+            record.wall_seconds,
+            record.threads
+        );
+        report.record_throughput(record);
+    }
+    println!();
 
     match report.save(std::path::Path::new(&bench_json)) {
         Ok(()) => println!(

@@ -173,8 +173,7 @@ pub fn fig5() -> Vec<Table> {
         "Fig 5 summary: delay statistics (s)",
         &["case", "min", "mean", "max", "bound", "violations"],
     );
-    let mut push = |name: &str, delays: &[f64], bound: Option<f64>| {
-        let st = delay_stats(delays, bound);
+    let mut push = |name: &str, st: smooth_metrics::DelayStats, bound: Option<f64>| {
         summary.push(vec![
             name.to_string(),
             f(st.min, 4),
@@ -184,19 +183,27 @@ pub fn fig5() -> Vec<Table> {
             st.over_bound.to_string(),
         ]);
     };
-    push("basic D=0.1 K=1 H=9", &d01.delays(), Some(0.1));
-    push("basic D=0.3 K=1 H=9", &d03.delays(), Some(0.3));
+    push(
+        "basic D=0.1 K=1 H=9",
+        delay_stats(d01.delays(), Some(0.1)),
+        Some(0.1),
+    );
+    push(
+        "basic D=0.3 K=1 H=9",
+        delay_stats(d03.delays(), Some(0.3)),
+        Some(0.3),
+    );
     push(
         "basic slack K=1 H=9",
-        &k1.delays(),
+        delay_stats(k1.delays(), Some(k1.params.delay_bound)),
         Some(k1.params.delay_bound),
     );
     push(
         "basic slack K=9 H=9",
-        &k9.delays(),
+        delay_stats(k9.delays(), Some(k9.params.delay_bound)),
         Some(k9.params.delay_bound),
     );
-    push("ideal smoothing", &ideal.delays(), None);
+    push("ideal smoothing", delay_stats(ideal.delays(), None), None);
 
     vec![summary, series]
 }
@@ -313,7 +320,7 @@ pub fn fig8() -> Vec<Table> {
     let companion = smooth_sweep::par_map(smooth_sweep::default_threads(), &ks, |_, &k| {
         let params = SmootherParams::constant_slack(k, 9, TAU);
         let result = smooth(&trace, params);
-        (params, delay_stats(&result.delays(), None))
+        (params, delay_stats(result.delays(), None))
     });
     for (&k, (params, st)) in ks.iter().zip(&companion) {
         delays.push(vec![
@@ -755,13 +762,13 @@ pub fn adaptive() -> Vec<Table> {
         ],
     );
     let sd = |r: &SmoothingResult| {
-        let rates = r.rates();
+        let rates: Vec<f64> = r.rates().collect();
         let m = rates.iter().sum::<f64>() / rates.len() as f64;
         (rates.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / rates.len() as f64).sqrt()
     };
     for (name, r) in [("schedule-aware", &aware), ("fixed-(2,6) naive", &naive)] {
         let report = audit(r);
-        let peak = r.rates().into_iter().fold(0.0f64, f64::max);
+        let peak = r.rates().fold(0.0f64, f64::max);
         table.push(vec![
             name.to_string(),
             report.delay_violations.to_string(),

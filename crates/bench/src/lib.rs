@@ -18,5 +18,6 @@
 
 pub mod experiments;
 pub mod table;
+pub mod throughput;
 
 pub use table::Table;

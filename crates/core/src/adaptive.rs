@@ -16,10 +16,11 @@
 //!
 //! Theorem 1 is untouched: it never depended on the pattern at all.
 
-use crate::estimate::DefaultSizes;
+use crate::estimate::{DefaultSizes, Invalidation};
+use crate::lookahead::LookaheadWindow;
 use crate::params::SmootherParams;
 use crate::smoother::{
-    decide_one, fill_lookahead, DecideCtx, RateSelection, SmoothingResult, TIME_EPS,
+    decide_one, BlockLanes, DecideCtx, RateSelection, SmoothingResult, TIME_EPS,
 };
 use smooth_mpeg::PatternSchedule;
 use smooth_trace::adaptive::AdaptiveVideo;
@@ -58,31 +59,38 @@ pub fn smooth_adaptive(
     let mut schedule = Vec::with_capacity(n_total);
     let mut depart = 0.0f64;
     let mut prev_rate: Option<f64> = None;
-    let mut sizes_ahead: Vec<f64> = Vec::with_capacity(params.h);
+    // The nearest-same-type estimate can change on *any* arrival (the new
+    // picture may be a closer same-type sample for every unresolved slot),
+    // so the window runs under the conservative invalidation contract.
+    let mut window = LookaheadWindow::new();
+    let mut lanes = BlockLanes::default();
 
     for i in 0..n_total {
-        let time = depart.max((i + k) as f64 * tau);
+        let time = params.start_time(i, depart);
         let arrived_by_time = (((time + TIME_EPS) / tau).floor() as usize).min(n_total);
         let arrived = arrived_by_time.max((i + k).min(n_total));
 
         let visible = &sizes[..arrived];
-        fill_lookahead(
-            &mut sizes_ahead,
+        let sizes_ahead = window.advance(
             i,
             params.h.min(n_total - i),
             visible,
+            Invalidation::OnAnyArrival,
+            video.schedule.n_at(i),
             |j| same_type_estimate(&video.schedule, &defaults, j, visible),
         );
-        let decision = decide_one(&DecideCtx {
+        let ctx = DecideCtx {
             params: &params,
-            sizes_ahead: &sizes_ahead,
+            sizes_ahead,
             pattern_n: video.schedule.n_at(i),
             selection,
             i,
-            depart,
+            start: time,
             prev_rate,
             size_i: sizes[i],
-        });
+            exact_prefix: false,
+        };
+        let decision = decide_one(&ctx, &mut lanes);
         depart = decision.depart;
         prev_rate = Some(decision.rate);
         schedule.push(decision);
@@ -188,7 +196,7 @@ mod tests {
         assert!(check_theorem1(&naive).holds());
 
         let sd = |r: &SmoothingResult| {
-            let rates = r.rates();
+            let rates: Vec<f64> = r.rates().collect();
             let m = rates.iter().sum::<f64>() / rates.len() as f64;
             (rates.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / rates.len() as f64).sqrt()
         };

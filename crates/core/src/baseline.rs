@@ -36,14 +36,15 @@ pub struct BaselineResult {
 }
 
 impl BaselineResult {
-    /// Per-picture delays.
-    pub fn delays(&self) -> Vec<f64> {
-        self.schedule.iter().map(|p| p.delay).collect()
+    /// Per-picture delays. Allocation-free; `.collect()` when a `Vec` is
+    /// needed.
+    pub fn delays(&self) -> impl Iterator<Item = f64> + '_ {
+        self.schedule.iter().map(|p| p.delay)
     }
 
     /// Largest per-picture delay.
     pub fn max_delay(&self) -> f64 {
-        self.delays().into_iter().fold(0.0, f64::max)
+        self.delays().fold(0.0, f64::max)
     }
 
     /// Largest rate in the rate function.
@@ -218,7 +219,7 @@ mod tests {
         assert!(r.max_delay() > 0.3, "max ideal delay {}", r.max_delay());
         // And every delay is at least one pattern's buffering minus the
         // picture's own offset; in particular positive.
-        assert!(r.delays().iter().all(|&d| d > 0.0));
+        assert!(r.delays().all(|d| d > 0.0));
     }
 
     #[test]
@@ -226,7 +227,7 @@ mod tests {
         // Within a steady pattern the delays repeat pattern-periodically.
         let t = toy_trace(90);
         let r = ideal_smooth(&t);
-        let d = r.delays();
+        let d: Vec<f64> = r.delays().collect();
         for i in 9..81 {
             assert!((d[i] - d[i + 9]).abs() < 1e-9, "delay not periodic at {i}");
         }
@@ -255,7 +256,7 @@ mod tests {
         let t = toy_trace(27);
         let r = unsmoothed(&t);
         assert!((r.max_rate() - 180_000.0 * 30.0).abs() < 1e-6);
-        assert!(r.delays().iter().all(|&d| (d - TAU).abs() < 1e-12));
+        assert!(r.delays().all(|d| (d - TAU).abs() < 1e-12));
     }
 
     #[test]

@@ -42,6 +42,57 @@ impl DefaultSizes {
             PictureType::B => self.b_bits,
         }
     }
+
+    /// `Some(max default)` when every default is a nonnegative finite
+    /// integer-valued `f64` — the precondition estimators built on these
+    /// defaults need for [`SizeEstimator::integral_estimates`].
+    pub fn integral_bound(&self) -> Option<f64> {
+        let vals = [self.i_bits, self.p_bits, self.b_bits];
+        if vals
+            .iter()
+            .all(|v| v.is_finite() && *v >= 0.0 && v.fract() == 0.0)
+        {
+            Some(vals.iter().copied().fold(0.0, f64::max))
+        } else {
+            None
+        }
+    }
+}
+
+/// How an estimator's output for a fixed picture `j` can change as the
+/// arrived prefix grows — the contract the incremental
+/// [`crate::lookahead::LookaheadWindow`] uses to decide which cached
+/// estimates to recompute when the arrived-watermark advances.
+///
+/// Declaring a variant is a promise about [`SizeEstimator::estimate`]: the
+/// window engine will *not* recompute estimates the variant marks as
+/// unchanged, so an estimator whose output shifts more often than declared
+/// would silently produce schedules that differ from a naive per-picture
+/// refill. When in doubt, keep the conservative default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Invalidation {
+    /// `estimate(j, arrived, …)` may change whenever `arrived` grows at
+    /// all. The engine re-estimates every unresolved slot each time the
+    /// watermark advances — always correct, never faster than necessary.
+    OnAnyArrival,
+    /// `estimate(j, arrived, …)` changes only when a picture `x` with
+    /// `x ≡ j (mod N)` joins `arrived` (the paper's pattern estimator:
+    /// only a same-GOP-slot arrival can become the new `S_{j−mN}`
+    /// source). The engine re-estimates only slots sharing a GOP slot
+    /// with a newly arrived picture.
+    ///
+    /// This variant additionally promises that unresolved slots of one
+    /// GOP slot all estimate to the **same value**: `estimate(j) ==
+    /// estimate(j′)` whenever `j ≡ j′ (mod N)` and both are at or beyond
+    /// the arrived prefix. The paper's rule has this shape inherently —
+    /// the estimate is the most recent same-slot arrival, or a per-type
+    /// default, both functions of the GOP slot alone — and the window
+    /// engine exploits it by estimating each affected slot class once
+    /// per arrival instead of once per slot.
+    OnSameSlotArrival,
+    /// `estimate(j, arrived, …)` never depends on `arrived` (oracle and
+    /// fixed-default estimators). Cached estimates are never recomputed.
+    Never,
 }
 
 /// A size estimator consulted for pictures that have not yet arrived.
@@ -56,6 +107,27 @@ pub trait SizeEstimator {
 
     /// Short name for reports and ablation tables.
     fn name(&self) -> &'static str;
+
+    /// When cached estimates must be recomputed (see [`Invalidation`]).
+    /// The default is the always-correct [`Invalidation::OnAnyArrival`].
+    fn invalidation(&self) -> Invalidation {
+        Invalidation::OnAnyArrival
+    }
+
+    /// Opt-in contract for the smoother's order-free prefix-sum fast
+    /// path. Return `Some(m)` **only if** every value [`estimate`]
+    /// (Self::estimate) can return is a nonnegative *integer-valued*
+    /// `f64` that is either one of the arrived sizes (`arrived[x] as
+    /// f64`) or an integral constant at most `m`.
+    ///
+    /// When all lookahead slots are integer-valued and partial sums stay
+    /// below 2⁵³, IEEE additions of those values are exact, so the
+    /// smoother may reassociate its prefix sums (shorter dependency
+    /// chains) without changing a single output bit. The default `None`
+    /// keeps the strictly sequential summation.
+    fn integral_estimates(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// The paper's estimator: `S_j ≈ S_{j−N}` (same picture type one pattern
@@ -76,15 +148,46 @@ impl Default for PatternEstimator {
 }
 
 impl SizeEstimator for PatternEstimator {
+    /// O(1): the walk-back loop (`back = j − N, j − 2N, …` until an
+    /// arrived picture is hit) visits exactly the indices congruent to
+    /// `j (mod N)` that lie at least one pattern before `j`, and returns
+    /// the **largest** one below `arrived.len()`. That index — the most
+    /// recent arrived picture in `j`'s GOP slot — has a closed form, so
+    /// no walk proportional to `j` is ever needed. The retained walk-back
+    /// loop ([`crate::reference::walk_back_estimate`]) is the reference
+    /// oracle the proptests compare against.
+    ///
+    /// Hot-path detail: the smoother only asks about slots at most a
+    /// lookahead window past the arrived prefix, so the answer is
+    /// usually a handful of patterns back. A bounded subtraction walk
+    /// covers that for the cost of a few integer subtractions; the
+    /// division-based closed form is kept for far-away queries, keeping
+    /// the worst case O(1).
     fn estimate(&self, j: usize, arrived: &[u64], pattern: &GopPattern) -> f64 {
         let n = pattern.n();
-        // Walk back one pattern at a time to the most recent arrived
-        // picture of the same type.
-        let mut back = j;
-        while back >= n {
-            back -= n;
-            if back < arrived.len() {
-                return arrived[back] as f64;
+        if j >= n && !arrived.is_empty() {
+            // Largest index ≡ j (mod N) that is both ≤ j − N (at least
+            // one whole pattern back) and < arrived.len() (arrived).
+            let cap = (j - n).min(arrived.len() - 1);
+            if j - cap <= 8 * n {
+                let mut back = j - n;
+                loop {
+                    if back <= cap {
+                        return arrived[back] as f64;
+                    }
+                    if back < n {
+                        // back ≡ j (mod N) and back > cap: no arrived
+                        // same-slot sample exists.
+                        break;
+                    }
+                    back -= n;
+                }
+            } else {
+                let slot = j % n;
+                if cap >= slot {
+                    let back = cap - (cap - slot) % n;
+                    return arrived[back] as f64;
+                }
             }
         }
         self.defaults.for_type(pattern.type_at(j))
@@ -92,6 +195,19 @@ impl SizeEstimator for PatternEstimator {
 
     fn name(&self) -> &'static str {
         "pattern"
+    }
+
+    fn invalidation(&self) -> Invalidation {
+        // S_j is sourced from the most recent arrived picture of j's GOP
+        // slot: only a same-slot arrival can change it.
+        Invalidation::OnSameSlotArrival
+    }
+
+    fn integral_estimates(&self) -> Option<f64> {
+        // Estimates are either `arrived[back] as f64` or one of the
+        // defaults, so the contract holds exactly when the defaults are
+        // integral.
+        self.defaults.integral_bound()
     }
 }
 
@@ -119,6 +235,10 @@ impl SizeEstimator for TypeDefaultEstimator {
     fn name(&self) -> &'static str {
         "type-default"
     }
+
+    fn invalidation(&self) -> Invalidation {
+        Invalidation::Never
+    }
 }
 
 /// An oracle with the full trace: returns exact sizes for pictures that
@@ -141,6 +261,10 @@ impl SizeEstimator for OracleEstimator {
 
     fn name(&self) -> &'static str {
         "oracle"
+    }
+
+    fn invalidation(&self) -> Invalidation {
+        Invalidation::Never
     }
 }
 

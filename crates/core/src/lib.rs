@@ -31,6 +31,8 @@
 //! | [`params`] | §4.1, eq. (1) | `(D, K, H)` with feasibility checks |
 //! | [`smoother`] | §4.4, Fig. 2 | the algorithm, offline driver, results |
 //! | [`estimate`] | §4.3–4.4 | pattern / oracle / default size estimators |
+//! | [`lookahead`] | — | incremental O(1)-per-picture lookahead window |
+//! | [`reference`] | — | naive refill/walk-back oracles for the tests |
 //! | [`online`] | Fig. 1 | streaming `push`/`notify` interface |
 //! | [`baseline`] | §3.2 | ideal smoothing, unsmoothed sender |
 //! | [`ott`] | ref. \[8\] | a-priori optimal (taut-string) schedule |
@@ -43,20 +45,24 @@ pub mod adaptive;
 pub mod baseline;
 pub mod estimate;
 pub mod eventsim;
+pub mod lookahead;
 pub mod lossy;
 pub mod online;
 pub mod ott;
 pub mod params;
 pub mod receiver;
+pub mod reference;
 pub mod smoother;
 pub mod verify;
 
 pub use adaptive::{same_type_estimate, smooth_adaptive};
 pub use baseline::{ideal_rates, ideal_smooth, unsmoothed, BaselineResult, BaselineSchedule};
 pub use estimate::{
-    DefaultSizes, OracleEstimator, PatternEstimator, SizeEstimator, TypeDefaultEstimator,
+    DefaultSizes, Invalidation, OracleEstimator, PatternEstimator, SizeEstimator,
+    TypeDefaultEstimator,
 };
 pub use eventsim::{validate_against_events, EventSimReport};
+pub use lookahead::LookaheadWindow;
 pub use lossy::{cap_peak_with_quantizer, drop_b_pictures, BDropResult, QuantizerControlResult};
 pub use online::{smooth_streaming, OnlineSmoother};
 pub use ott::{ott_smooth, OttError};
@@ -65,7 +71,7 @@ pub use receiver::{
     client_buffer_at_bound, min_playback_offset, simulate_receiver, ReceiverReport,
 };
 pub use smoother::{
-    smooth, smooth_with, PictureSchedule, RateSegment, RateSelection, Smoother, SmoothingResult,
-    TIME_EPS,
+    smooth, smooth_batch, smooth_with, smooth_with_scratch, PictureSchedule, RateSegment,
+    RateSelection, SmoothScratch, Smoother, SmoothingResult, TIME_EPS,
 };
 pub use verify::{check_theorem1, theorem_applies, Theorem1Report};

@@ -1,0 +1,358 @@
+//! Incremental lookahead resolution: the O(1)-per-picture window engine.
+//!
+//! Every picture `i`, the smoothing algorithm needs the resolved sizes
+//! `S_i .. S_{i+look−1}` — exact values for the arrived prefix, estimates
+//! beyond it — as one contiguous `f64` slice for the interval-intersection
+//! loop. The naive approach ([`crate::reference::fill_lookahead`])
+//! rebuilds that slice from scratch every picture: O(H) work plus one
+//! estimator call per unresolved slot, per picture.
+//!
+//! [`LookaheadWindow`] instead *slides*: between picture `i−1` and `i`
+//! the window `[i−1, i−1+H)` and the window `[i, i+H)` share all but one
+//! slot, and a shared slot's resolved value can only change in two ways:
+//!
+//! 1. it crossed the **arrived-watermark** — the picture arrived, so the
+//!    estimate is replaced by the exact size (each slot crosses at most
+//!    once, amortized O(1) per picture);
+//! 2. a new arrival **invalidated its estimate** — which arrivals affect
+//!    which estimates is the estimator's declared
+//!    [`Invalidation`] contract: the paper's pattern estimator is only
+//!    affected by a same-GOP-slot arrival (≤ ⌈H/N⌉ slots per arrival),
+//!    oracle/fixed estimators never, arbitrary estimators conservatively
+//!    on every arrival.
+//!
+//! So the steady-state per-picture cost is: drop one slot, resolve one
+//! newly exposed slot, plus the (amortized O(1)) watermark crossings and
+//! same-slot refreshes — independent of `H`. The interval-intersection
+//! loop in [`crate::smoother`] remains O(H) per picture; it is the
+//! paper's own algorithm and is excluded from the engine's cost bound.
+//!
+//! The window stores its slots in a flat `Vec` with a moving start
+//! offset, compacted once the dead prefix exceeds the live length
+//! (amortized O(1) per advance), so the live region is always one
+//! contiguous `&[f64]` — exactly what `DecideCtx::sizes_ahead` wants.
+//!
+//! **Bit-identity.** Every resolved value is the same pure function of
+//! `(j, visible prefix)` the naive refill computes — exact slots are
+//! `visible[j] as f64`, estimated slots are `estimate(j)` recomputed
+//! whenever the declared invalidation says the inputs changed — so the
+//! produced slices, and therefore the schedules, are bit-identical to
+//! the reference implementation. The proptests in
+//! `crates/core/tests/incremental_props.rs` pin this for offline, online
+//! stored, and online live modes.
+
+pub use crate::estimate::Invalidation;
+
+/// Incrementally maintained lookahead window (see the module docs).
+///
+/// One instance serves one smoothing run at a time but is designed to be
+/// **reused across runs** (and across traces, in batch mode): `advance`
+/// detects non-successive picture indices and falls back to a full
+/// refill, so a fresh run simply starts with its first picture. All
+/// buffers are retained between runs — after warm-up the hot path
+/// performs no allocations at all.
+#[derive(Debug, Default)]
+pub struct LookaheadWindow {
+    /// Slot storage; the live window is `buf[lo .. lo + len]`.
+    buf: Vec<f64>,
+    /// Start of the live window within `buf`.
+    lo: usize,
+    /// Number of live slots.
+    len: usize,
+    /// Display index of the picture in `buf[lo]`.
+    front: usize,
+    /// Arrived-prefix length (`visible.len()`) at the last advance.
+    /// Slots `j < watermark` hold exact sizes; slots `j ≥ watermark`
+    /// hold estimates.
+    watermark: usize,
+    /// `false` until the first `advance` after construction/reset.
+    primed: bool,
+}
+
+impl LookaheadWindow {
+    /// Creates an empty window. Capacity grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forgets all cached state; the next [`advance`](Self::advance)
+    /// performs a full refill. Buffer capacity is retained.
+    pub fn reset(&mut self) {
+        self.primed = false;
+    }
+
+    /// Slides the window to picture `i` and returns the resolved sizes
+    /// `S_i .. S_{i+look−1}` as a contiguous slice.
+    ///
+    /// * `visible` — the arrived prefix (`visible[x]` is the exact size
+    ///   of picture `x`); its length is the arrived-watermark and must be
+    ///   non-decreasing across successive calls of one run.
+    /// * `invalidation` — the estimator's declared contract; governs
+    ///   which cached estimates are recomputed.
+    /// * `slot_modulus` — the GOP pattern period `N`, consulted only for
+    ///   [`Invalidation::OnSameSlotArrival`].
+    /// * `estimate` — resolves a not-yet-arrived picture `j`; must be a
+    ///   pure function of `(j, visible)`.
+    ///
+    /// Calling with `i` not equal to the previous picture + 1 (a new
+    /// run, a reset, or any non-sliding access) falls back to a full
+    /// refill, which is exactly the naive
+    /// [`crate::reference::fill_lookahead`].
+    #[inline(always)]
+    pub fn advance(
+        &mut self,
+        i: usize,
+        look: usize,
+        visible: &[u64],
+        invalidation: Invalidation,
+        slot_modulus: usize,
+        mut estimate: impl FnMut(usize) -> f64,
+    ) -> &[f64] {
+        let w1 = visible.len();
+        let sliding = self.primed && self.len > 0 && i == self.front + 1 && w1 >= self.watermark;
+        if !sliding {
+            return self.refill(i, look, visible, estimate);
+        }
+
+        // 1. Drop the slot for picture i − 1.
+        self.lo += 1;
+        self.len -= 1;
+        self.front = i;
+
+        // Live-window view: `win[j − i]` is picture `j`'s slot. The loops
+        // below index it with `j < i + win.len()`, a bound the optimizer
+        // can discharge, where the equivalent `self.buf[self.lo + …]`
+        // stores each kept a checked add.
+        let win = &mut self.buf[self.lo..self.lo + self.len];
+
+        // 2. Estimate → exact for slots that crossed the watermark.
+        let w0 = self.watermark;
+        for j in w0.max(i)..w1.min(i + win.len()) {
+            win[j - i] = visible[j] as f64;
+        }
+
+        // 3. Recompute estimates the new arrivals invalidated (slots at
+        //    or beyond the new watermark; slots below it are exact).
+        if w1 > w0 {
+            let est_from = w1.max(i);
+            let est_to = i + win.len();
+            match invalidation {
+                Invalidation::Never => {}
+                Invalidation::OnAnyArrival => {
+                    for j in est_from..est_to {
+                        win[j - i] = estimate(j);
+                    }
+                }
+                Invalidation::OnSameSlotArrival => {
+                    let n = slot_modulus.max(1);
+                    if w1 - w0 >= n {
+                        // Every GOP slot saw an arrival.
+                        for j in est_from..est_to {
+                            win[j - i] = estimate(j);
+                        }
+                    } else {
+                        for x in w0..w1 {
+                            // First j ≥ est_from with j ≡ x (mod n), by
+                            // stepping (x is at most a window behind, so
+                            // this beats an integer division).
+                            let mut j = x;
+                            while j < est_from {
+                                j += n;
+                            }
+                            if j < est_to {
+                                // One estimate serves the whole class:
+                                // `OnSameSlotArrival` pins unresolved
+                                // same-slot estimates equal.
+                                let v = estimate(j);
+                                while j < est_to {
+                                    win[j - i] = v;
+                                    j += n;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.watermark = w1;
+
+        // 4. Grow or shrink the back edge to the requested length. In
+        //    steady state this appends exactly the one newly exposed
+        //    slot; near the end of a finite trace `look` shrinks and
+        //    nothing is appended.
+        while self.len < look {
+            let j = i + self.len;
+            let v = if j < w1 {
+                visible[j] as f64
+            } else if invalidation == Invalidation::OnSameSlotArrival
+                && slot_modulus >= 1
+                && j - i >= slot_modulus
+                && j - slot_modulus >= w1
+            {
+                // The slot one GOP period back is in the window, is
+                // itself unresolved, and was brought current above — so
+                // under the `OnSameSlotArrival` class-equality promise
+                // its cached value *is* `estimate(j)`, for free.
+                self.buf[self.lo + (j - slot_modulus - i)]
+            } else {
+                estimate(j)
+            };
+            debug_assert_eq!(self.buf.len(), self.lo + self.len);
+            self.buf.push(v);
+            self.len += 1;
+        }
+        if self.len > look {
+            self.len = look;
+            self.buf.truncate(self.lo + self.len);
+        }
+
+        // 5. Compact once the dead prefix outweighs the live window
+        //    (amortized O(1): `lo` grows by one per advance and each
+        //    compaction copies at most `len ≤ lo` slots).
+        if self.lo > self.len {
+            self.buf.copy_within(self.lo.., 0);
+            self.buf.truncate(self.len);
+            self.lo = 0;
+        }
+
+        &self.buf[self.lo..self.lo + self.len]
+    }
+
+    /// Full refill — the naive resolution, used for the first picture of
+    /// a run and as the fallback for non-sliding access. Kept out of line
+    /// so the inlined sliding fast path stays small.
+    #[cold]
+    #[inline(never)]
+    fn refill(
+        &mut self,
+        i: usize,
+        look: usize,
+        visible: &[u64],
+        mut estimate: impl FnMut(usize) -> f64,
+    ) -> &[f64] {
+        self.buf.clear();
+        self.lo = 0;
+        self.len = look;
+        self.front = i;
+        self.watermark = visible.len();
+        self.primed = true;
+        for j in i..i + look {
+            self.buf.push(if j < visible.len() {
+                visible[j] as f64
+            } else {
+                estimate(j)
+            });
+        }
+        &self.buf[..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    /// Drives the window and the naive refill side by side over a
+    /// synthetic arrival process and asserts slice equality each step.
+    fn check_against_naive(
+        sizes: &[u64],
+        h: usize,
+        n: usize,
+        invalidation: Invalidation,
+        arrived_at: impl Fn(usize) -> usize,
+    ) {
+        // Pure estimator honoring the declared invalidation: for
+        // OnSameSlotArrival use the most recent same-slot arrival (the
+        // pattern rule), for Never a constant, else a hash of the prefix.
+        let estimate_with = |j: usize, visible: &[u64]| -> f64 {
+            match invalidation {
+                Invalidation::Never => (j % 7) as f64 + 1.0,
+                Invalidation::OnSameSlotArrival => {
+                    let mut back = j;
+                    while back >= n {
+                        back -= n;
+                        if back < visible.len() {
+                            return visible[back] as f64;
+                        }
+                    }
+                    (j % n) as f64 + 0.5
+                }
+                Invalidation::OnAnyArrival => visible.len() as f64 * 1000.0 + (j % 11) as f64,
+            }
+        };
+
+        let mut window = LookaheadWindow::new();
+        let mut scratch = Vec::new();
+        for i in 0..sizes.len() {
+            let look = h.min(sizes.len() - i);
+            let arrived = arrived_at(i).min(sizes.len());
+            let visible = &sizes[..arrived];
+            let got = window
+                .advance(i, look, visible, invalidation, n, |j| {
+                    estimate_with(j, visible)
+                })
+                .to_vec();
+            reference::fill_lookahead(&mut scratch, i, look, visible, |j| {
+                estimate_with(j, visible)
+            });
+            assert_eq!(got, scratch, "picture {i}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_for_every_invalidation_mode() {
+        let sizes: Vec<u64> = (0..200).map(|x| 1_000 + x * 37 % 5_000).collect();
+        for inval in [
+            Invalidation::OnAnyArrival,
+            Invalidation::OnSameSlotArrival,
+            Invalidation::Never,
+        ] {
+            // K=1-style watermark (one picture ahead).
+            check_against_naive(&sizes, 9, 9, inval, |i| i + 1);
+            // Bursty watermark: jumps several pictures at a time.
+            check_against_naive(&sizes, 12, 9, inval, |i| (i / 5) * 7);
+            // Watermark far ahead of the window.
+            check_against_naive(&sizes, 6, 9, inval, |i| i + 40);
+        }
+    }
+
+    #[test]
+    fn window_shrinks_at_trace_end() {
+        let sizes: Vec<u64> = (0..30).map(|x| 100 + x).collect();
+        check_against_naive(&sizes, 9, 9, Invalidation::OnSameSlotArrival, |i| i + 1);
+    }
+
+    #[test]
+    fn reset_forces_refill() {
+        let sizes: Vec<u64> = (0..40).map(|x| 7 * x + 1).collect();
+        let mut w = LookaheadWindow::new();
+        let a = w
+            .advance(0, 9, &sizes[..1], Invalidation::Never, 9, |_| 1.0)
+            .to_vec();
+        w.advance(1, 9, &sizes[..2], Invalidation::Never, 9, |_| 1.0);
+        w.reset();
+        let b = w
+            .advance(0, 9, &sizes[..1], Invalidation::Never, 9, |_| 1.0)
+            .to_vec();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn non_successive_access_falls_back_to_refill() {
+        let sizes: Vec<u64> = (0..60).map(|x| x * x % 997).collect();
+        let mut w = LookaheadWindow::new();
+        let mut scratch = Vec::new();
+        for &i in &[0usize, 1, 2, 10, 11, 5, 6, 7] {
+            let visible = &sizes[..(i + 2).min(sizes.len())];
+            let got = w
+                .advance(i, 9, visible, Invalidation::OnAnyArrival, 9, |j| {
+                    j as f64 + visible.len() as f64
+                })
+                .to_vec();
+            reference::fill_lookahead(&mut scratch, i, 9, visible, |j| {
+                j as f64 + visible.len() as f64
+            });
+            assert_eq!(got, scratch, "i={i}");
+        }
+    }
+}

@@ -17,10 +17,10 @@
 //! 1 is unaffected either way.
 
 use crate::estimate::{PatternEstimator, SizeEstimator};
+use crate::lookahead::LookaheadWindow;
 use crate::params::SmootherParams;
 use crate::smoother::{
-    decide_one, fill_lookahead, DecideCtx, PictureSchedule, RateSelection, SmoothingResult,
-    TIME_EPS,
+    decide_one, BlockLanes, DecideCtx, PictureSchedule, RateSelection, SmoothingResult, TIME_EPS,
 };
 use smooth_mpeg::GopPattern;
 
@@ -37,8 +37,8 @@ pub struct OnlineSmoother<E: SizeEstimator = PatternEstimator> {
     arrived: Vec<u64>,
     /// Decisions already emitted.
     decided: usize,
-    /// Reusable lookahead scratch (see `DecideCtx::sizes_ahead`).
-    sizes_ahead: Vec<f64>,
+    /// Incrementally maintained lookahead (see `DecideCtx::sizes_ahead`).
+    window: LookaheadWindow,
     /// Departure time of the last decided picture.
     depart: f64,
     prev_rate: Option<f64>,
@@ -88,7 +88,7 @@ impl<E: SizeEstimator> OnlineSmoother<E> {
             expected_total,
             arrived: Vec::new(),
             decided: 0,
-            sizes_ahead: Vec::with_capacity(params.h),
+            window: LookaheadWindow::new(),
             depart: 0.0,
             prev_rate: None,
             ended: false,
@@ -143,6 +143,7 @@ impl<E: SizeEstimator> OnlineSmoother<E> {
         };
 
         let mut out = Vec::new();
+        let mut lanes = BlockLanes::default();
         loop {
             let i = self.decided;
             if let Some(n) = n_known {
@@ -151,7 +152,7 @@ impl<E: SizeEstimator> OnlineSmoother<E> {
                 }
             }
             // t_i is known once d_{i−1} is known (it is: i−1 decided).
-            let time = self.depart.max((i + k) as f64 * tau);
+            let time = self.params.start_time(i, self.depart);
             // Everything that will have arrived by t_i must be in hand;
             // for K = 0, picture i itself must also be in hand because
             // its actual size determines the departure time.
@@ -175,19 +176,30 @@ impl<E: SizeEstimator> OnlineSmoother<E> {
                 Some(n) => self.params.h.min(n - i),
                 None => self.params.h,
             };
-            fill_lookahead(&mut self.sizes_ahead, i, look, visible, |j| {
-                estimator.estimate(j, visible, &pattern)
-            });
-            let decision = decide_one(&DecideCtx {
+            // `visible_len` is monotone across drain steps (t_i and
+            // `need` both are), so the window slides instead of refilling.
+            let sizes_ahead = self.window.advance(
+                i,
+                look,
+                visible,
+                estimator.invalidation(),
+                pattern.n(),
+                |j| estimator.estimate(j, visible, &pattern),
+            );
+            let ctx = DecideCtx {
                 params: &self.params,
-                sizes_ahead: &self.sizes_ahead,
+                sizes_ahead,
                 pattern_n: pattern.n(),
                 selection: self.selection,
                 i,
-                depart: self.depart,
+                start: time,
                 prev_rate: self.prev_rate,
                 size_i: self.arrived[i],
-            });
+                // Arrivals stream in, so the size bound needed for the
+                // order-free scan is not known up front.
+                exact_prefix: false,
+            };
+            let decision = decide_one(&ctx, &mut lanes);
             self.depart = decision.depart;
             self.prev_rate = Some(decision.rate);
             self.decided += 1;

@@ -401,7 +401,7 @@ mod tests {
         let d = 0.2;
         let opt = ott_smooth(&t, d).unwrap();
         let online = smooth(&t, SmootherParams::at_30fps(d, 1, 9).unwrap());
-        let online_peak = online.rates().into_iter().fold(0.0f64, f64::max);
+        let online_peak = online.rates().fold(0.0f64, f64::max);
         assert!(
             opt.max_rate() <= online_peak + TIME_EPS,
             "opt {} > online {}",

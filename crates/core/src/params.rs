@@ -168,6 +168,28 @@ impl SmootherParams {
         Self::new(d, k, h, tau).expect("constant-slack D is feasible by construction")
     }
 
+    /// Start of service for picture `i` given the previous departure
+    /// `d_{i−1}` — eq. (2): `t_i = max(d_{i−1}, (i + K)·τ)`.
+    ///
+    /// The one source of truth for this formula: the offline smoother,
+    /// the online smoother, the adaptive smoother, and `decide_one` all
+    /// obtain `t_i` here instead of re-deriving it.
+    ///
+    /// Computed as a compare-select rather than `f64::max`: both
+    /// operands are nonnegative (departures and `(i+K)·τ` with `τ > 0`)
+    /// and never NaN, so the two agree bit for bit while the
+    /// compare-select avoids `f64::max`'s NaN/−0 fixup instructions in
+    /// the per-picture path.
+    #[inline]
+    pub fn start_time(&self, i: usize, prev_depart: f64) -> f64 {
+        let earliest = (i + self.k) as f64 * self.tau;
+        if prev_depart > earliest {
+            prev_depart
+        } else {
+            earliest
+        }
+    }
+
     /// Slack above the feasibility minimum: `D − (K + 1)·τ`.
     pub fn slack(&self) -> f64 {
         self.delay_bound - (self.k as f64 + 1.0) * self.tau

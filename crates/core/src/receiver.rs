@@ -197,7 +197,7 @@ mod tests {
         let t = trace(90);
         let d = 0.2;
         let r = smooth(&t, SmootherParams::at_30fps(d, 1, 9).unwrap());
-        let peak = r.rates().into_iter().fold(0.0f64, f64::max);
+        let peak = r.rates().fold(0.0f64, f64::max);
         let report = simulate_receiver(&r, d);
         assert!(
             report.max_buffer_bits <= peak * (d + 9.0 * TAU),

@@ -41,6 +41,7 @@
 //! The very first picture uses the interval midpoint.
 
 use crate::estimate::{PatternEstimator, SizeEstimator};
+use crate::lookahead::LookaheadWindow;
 use crate::params::SmootherParams;
 use serde::{Deserialize, Serialize};
 use smooth_trace::VideoTrace;
@@ -125,19 +126,21 @@ pub struct RateSegment {
 }
 
 impl SmoothingResult {
-    /// Selected rates, display order.
-    pub fn rates(&self) -> Vec<f64> {
-        self.schedule.iter().map(|p| p.rate).collect()
+    /// Selected rates, display order. Allocation-free; `.collect()` when a
+    /// `Vec` is needed.
+    pub fn rates(&self) -> impl Iterator<Item = f64> + '_ {
+        self.schedule.iter().map(|p| p.rate)
     }
 
-    /// Per-picture delays, display order.
-    pub fn delays(&self) -> Vec<f64> {
-        self.schedule.iter().map(|p| p.delay).collect()
+    /// Per-picture delays, display order. Allocation-free; `.collect()`
+    /// when a `Vec` is needed.
+    pub fn delays(&self) -> impl Iterator<Item = f64> + '_ {
+        self.schedule.iter().map(|p| p.delay)
     }
 
     /// Largest per-picture delay (0 for an empty schedule).
     pub fn max_delay(&self) -> f64 {
-        self.delays().into_iter().fold(0.0, f64::max)
+        self.delays().fold(0.0, f64::max)
     }
 
     /// Number of pictures whose delay exceeds the bound `D`
@@ -236,8 +239,11 @@ pub(crate) struct DecideCtx<'a> {
     pub selection: RateSelection,
     /// Display index of the picture being scheduled.
     pub i: usize,
-    /// Departure time of the previous picture (`d_{i−1}`; 0 for `i = 0`).
-    pub depart: f64,
+    /// Start of service `t_i` (eq. 2), computed once by the caller via
+    /// [`SmootherParams::start_time`] — callers need it earlier than the
+    /// decision (to derive the arrived-watermark), so it is passed in
+    /// rather than re-derived here.
+    pub start: f64,
     /// Previously selected rate, if any.
     pub prev_rate: Option<f64>,
     /// The actual size of picture `i`, used for the departure time.
@@ -245,51 +251,400 @@ pub(crate) struct DecideCtx<'a> {
     /// be chosen from an estimate while the departure still reflects the
     /// bits actually sent.)
     pub size_i: u64,
+    /// Whether every `sizes_ahead` value is a nonnegative integer-valued
+    /// `f64` with all window partial sums below 2⁵³ (see
+    /// [`crate::estimate::SizeEstimator::integral_estimates`]). IEEE
+    /// addition of such values is exact, so the prefix sums may be
+    /// reassociated into a parallel scan without changing any output
+    /// bit. `false` forces the strictly sequential summation.
+    pub exact_prefix: bool,
+}
+
+/// Lookahead steps per vectorized round of the bound-intersection loop.
+const DECIDE_BLOCK: usize = 8;
+
+/// Compare-select max, compiling to a bare `maxsd`/`maxpd` with none of
+/// `f64::max`'s NaN/−0 fixup instructions.
+///
+/// Bit-identical to `f64::max` on the quotient domain: every lane value
+/// is `+0`, a positive finite, or `+inf` (numerators are nonnegative
+/// sums, nonpositive denominators are replaced by `+inf` before the
+/// folds), so the cases where the two differ — NaN operands and
+/// `−0`/`+0` ties — cannot occur.
+#[inline(always)]
+fn sel_max(a: f64, b: f64) -> f64 {
+    if a > b {
+        a
+    } else {
+        b
+    }
+}
+
+/// Compare-select min; see [`sel_max`] for the equivalence argument.
+#[inline(always)]
+fn sel_min(a: f64, b: f64) -> f64 {
+    if a < b {
+        a
+    } else {
+        b
+    }
+}
+
+/// Stride-half pairwise max of 8 lanes. Max is associative and
+/// commutative, so the tree computes the identical value to a
+/// left-to-right fold while shortening the latency chain to log₂ 8
+/// levels of adjacent-pair `maxpd`.
+#[inline(always)]
+fn fold_max8(v: &[f64; DECIDE_BLOCK]) -> f64 {
+    let a = sel_max(v[0], v[4]);
+    let b = sel_max(v[1], v[5]);
+    let c = sel_max(v[2], v[6]);
+    let d = sel_max(v[3], v[7]);
+    sel_max(sel_max(a, c), sel_max(b, d))
+}
+
+/// Stride-half pairwise min of 8 lanes; see [`fold_max8`].
+#[inline(always)]
+fn fold_min8(v: &[f64; DECIDE_BLOCK]) -> f64 {
+    let a = sel_min(v[0], v[4]);
+    let b = sel_min(v[1], v[5]);
+    let c = sel_min(v[2], v[6]);
+    let d = sel_min(v[3], v[7]);
+    sel_min(sel_min(a, c), sel_min(b, d))
+}
+
+/// State threaded through the bound-intersection loop of one picture.
+struct BoundState {
+    sum: f64,
+    lower: f64,
+    upper: f64,
+    lower_old: f64,
+    upper_old: f64,
+    lower0: f64,
+    upper0: f64,
+}
+
+/// Per-block lane arrays, declared by the *caller* of [`bound_block8`] so
+/// they stay loop-carried (memory-resident) across blocks. Keeping them
+/// out of the inlined block body stops scalar replacement from dissolving
+/// the arrays, which would unroll the elementwise passes into scalar
+/// chains the backend fails to re-pack into `divpd`.
+#[derive(Default)]
+pub(crate) struct BlockLanes {
+    sums: [f64; DECIDE_BLOCK],
+    dls: [f64; DECIDE_BLOCK],
+    dus: [f64; DECIDE_BLOCK],
+    qls: [f64; DECIDE_BLOCK],
+    qus: [f64; DECIDE_BLOCK],
+}
+
+/// All full 8-lane blocks of the bound-intersection loop, in one call.
+///
+/// Each block computes its prefix sums, denominators, and quotients as
+/// fixed-trip elementwise passes over the caller-owned [`BlockLanes`]
+/// buffer, then folds them into the running `lower`/`upper` by
+/// order-free max/min reductions. Returns the next step `h` and whether
+/// the bounds crossed.
+///
+/// Two deliberate codegen constraints, verified against the emitted
+/// assembly:
+///
+/// * `#[inline(never)]` + the caller-owned lane buffer keep the arrays
+///   memory-resident. Were the function inlined (or the buffer local),
+///   scalar replacement would dissolve the arrays, fully unroll the
+///   passes, and the backend would fail to re-pack the divisions into
+///   `divpd` — which costs ~2× the division throughput.
+/// * The bound state lives in locals (registers) across blocks and is
+///   written back once on exit.
+///
+/// The running bounds are monotone (the max only grows, the min only
+/// shrinks), so the end-of-block crossing test is exact: a crossing at
+/// any lane implies the block-end bounds cross, and vice versa. The
+/// rare crossing block is replayed sequentially to recover the scalar
+/// loop's exact exit state (crossing lane, pre-crossing `lower_old` /
+/// `upper_old`, prefix `sum`).
+#[inline(never)]
+#[allow(clippy::too_many_arguments)]
+fn bound_blocks8(
+    sizes_ahead: &[f64],
+    i: usize,
+    k: usize,
+    tau: f64,
+    d_bound: f64,
+    time: f64,
+    exact_prefix: bool,
+    lanes: &mut BlockLanes,
+    st: &mut BoundState,
+) -> (usize, bool) {
+    let len = sizes_ahead.len();
+    let mut sum = st.sum;
+    let mut lower = st.lower;
+    let mut upper = st.upper;
+    let mut h = 0usize;
+    while len - h >= DECIDE_BLOCK {
+        let sizes: &[f64; DECIDE_BLOCK] = sizes_ahead[h..h + DECIDE_BLOCK]
+            .try_into()
+            .expect("slice is exactly one block");
+        // `base + j as f64` equals `(i + h + j) as f64` bit for bit:
+        // both sides are integers below 2^53, so conversion and sum are
+        // exact. This keeps the denominator passes straight-line packed
+        // arithmetic.
+        let base_l = (i + h) as f64;
+        let base_u = (i + h + k + 1) as f64;
+        if exact_prefix {
+            // Hillis–Steele parallel scan. Every operand is a
+            // nonnegative integer-valued f64 with partial sums < 2^53
+            // (the `exact_prefix` contract), so each addition is exact
+            // and any association yields the same bits as the
+            // sequential chain — at a quarter of its latency. The
+            // quotient arrays double as scan temporaries; they are
+            // rewritten below.
+            lanes.qls[0] = sizes[0];
+            for j in 1..DECIDE_BLOCK {
+                lanes.qls[j] = sizes[j - 1] + sizes[j];
+            }
+            lanes.qus[0] = lanes.qls[0];
+            lanes.qus[1] = lanes.qls[1];
+            for j in 2..DECIDE_BLOCK {
+                lanes.qus[j] = lanes.qls[j - 2] + lanes.qls[j];
+            }
+            for j in 0..4 {
+                lanes.sums[j] = sum + lanes.qus[j];
+            }
+            for j in 4..DECIDE_BLOCK {
+                lanes.sums[j] = sum + (lanes.qus[j - 4] + lanes.qus[j]);
+            }
+        } else {
+            let mut s = sum;
+            for (j, &size) in sizes.iter().enumerate().take(DECIDE_BLOCK) {
+                s += size;
+                lanes.sums[j] = s;
+            }
+        }
+        for j in 0..DECIDE_BLOCK {
+            // r_L(h): delay-bound constraint (paper eq. 12).
+            lanes.dls[j] = d_bound + (base_l + j as f64) * tau - time;
+            // r_U(h): continuous-service constraint (paper eq. 13).
+            lanes.dus[j] = (base_u + j as f64) * tau - time;
+        }
+        // The quotients as *unconditional* elementwise passes (IEEE
+        // division cannot trap; packed division of the same operands
+        // gives the same bits as scalar). The nonpositive-denominator
+        // guard is a separate branchless select pass — a branch inside
+        // the division loop would block packing.
+        for j in 0..DECIDE_BLOCK {
+            lanes.qls[j] = lanes.sums[j] / lanes.dls[j];
+        }
+        for j in 0..DECIDE_BLOCK {
+            lanes.qus[j] = lanes.sums[j] / lanes.dus[j];
+        }
+        // Both denominator sequences are nondecreasing in the lane index:
+        // `base + j` is exact, multiplication by τ > 0 and the constant
+        // additions are weakly monotone under IEEE rounding. So a
+        // positive lane 0 makes every select below an identity, and the
+        // pass can be skipped — the common case once the schedule leaves
+        // the start-up transient.
+        if lanes.dls[0] <= 0.0 {
+            for j in 0..DECIDE_BLOCK {
+                lanes.qls[j] = if lanes.dls[j] > 0.0 {
+                    lanes.qls[j]
+                } else {
+                    f64::INFINITY
+                };
+            }
+        }
+        if lanes.dus[0] <= 0.0 {
+            for j in 0..DECIDE_BLOCK {
+                lanes.qus[j] = if lanes.dus[j] > 0.0 {
+                    lanes.qus[j]
+                } else {
+                    f64::INFINITY
+                };
+            }
+        }
+        if h == 0 {
+            // Bounds of lane 0 (the scalar loop's `h == 0` capture):
+            // the running values start at 0 / +inf, and lane quotients
+            // are positive or +inf, so the captured values equal the
+            // quotients.
+            st.lower0 = lanes.qls[0];
+            st.upper0 = lanes.qus[0];
+        }
+        // The running bounds live in the same NaN-free, −0-free domain
+        // (they start at +0 / +inf and only ever take lane values), so
+        // the compare-select forms stay bit-identical here too.
+        let block_lower = sel_max(lower, fold_max8(&lanes.qls));
+        let block_upper = sel_min(upper, fold_min8(&lanes.qus));
+        if block_lower > block_upper {
+            // Locate the crossing lane without replaying the scalar
+            // chain. First turn the lane quotients into inclusive
+            // running bounds in place (doubling scan; max/min are
+            // associative, commutative, and idempotent, so every scanned
+            // value equals the sequential chain's bit for bit):
+            for j in (1..DECIDE_BLOCK).rev() {
+                lanes.qls[j] = sel_max(lanes.qls[j], lanes.qls[j - 1]);
+                lanes.qus[j] = sel_min(lanes.qus[j], lanes.qus[j - 1]);
+            }
+            for j in (2..DECIDE_BLOCK).rev() {
+                lanes.qls[j] = sel_max(lanes.qls[j], lanes.qls[j - 2]);
+                lanes.qus[j] = sel_min(lanes.qus[j], lanes.qus[j - 2]);
+            }
+            for j in (4..DECIDE_BLOCK).rev() {
+                lanes.qls[j] = sel_max(lanes.qls[j], lanes.qls[j - 4]);
+                lanes.qus[j] = sel_min(lanes.qus[j], lanes.qus[j - 4]);
+            }
+            for j in 0..DECIDE_BLOCK {
+                lanes.qls[j] = sel_max(lower, lanes.qls[j]);
+                lanes.qus[j] = sel_min(upper, lanes.qus[j]);
+            }
+            // `qls[j] > qus[j]` is monotone in `j` (the running lower
+            // bound only grows, the upper only shrinks), so the number
+            // of still-overlapping lanes *is* the crossing lane index.
+            // Lane 7 crossed (that is `block_lower > block_upper`), so
+            // the count is at most 7; the `min` just tells the compiler.
+            let mut lane = 0usize;
+            for j in 0..DECIDE_BLOCK {
+                lane += (lanes.qls[j] <= lanes.qus[j]) as usize;
+            }
+            let lane = lane.min(DECIDE_BLOCK - 1);
+            st.lower_old = if lane == 0 {
+                lower
+            } else {
+                lanes.qls[lane - 1]
+            };
+            st.upper_old = if lane == 0 {
+                upper
+            } else {
+                lanes.qus[lane - 1]
+            };
+            st.sum = lanes.sums[lane];
+            st.lower = lanes.qls[lane];
+            st.upper = lanes.qus[lane];
+            return (h + lane + 1, true);
+        }
+        lower = block_lower;
+        upper = block_upper;
+        sum = lanes.sums[DECIDE_BLOCK - 1];
+        h += DECIDE_BLOCK;
+    }
+    st.sum = sum;
+    st.lower = lower;
+    st.upper = upper;
+    (h, false)
 }
 
 /// Schedules one picture: the body of the paper's outer `repeat` loop.
-pub(crate) fn decide_one(ctx: &DecideCtx<'_>) -> PictureSchedule {
+///
+/// Computes the same IEEE divisions as the pre-PR scalar loop retained
+/// in [`crate::reference::decide_one_reference`] — only grouped into
+/// 8-lane blocks ([`bound_blocks8`]) so they vectorize, with the scalar
+/// loop kept verbatim for the sub-block tail. The `incremental_props`
+/// proptests pin the two bit-identical.
+///
+/// Inlined into each caller's loop so the `DecideCtx` fields stay in
+/// registers instead of being marshalled through the stack per picture.
+///
+/// `lanes` is the block-pass scratch, hoisted to the caller so its
+/// zero-initialisation is paid once per run rather than once per
+/// picture. Every lane element is written before it is read within each
+/// [`bound_blocks8`] call, so reuse across pictures cannot leak state.
+#[inline(always)]
+pub(crate) fn decide_one(ctx: &DecideCtx<'_>, lanes: &mut BlockLanes) -> PictureSchedule {
     let tau = ctx.params.tau;
     let d_bound = ctx.params.delay_bound;
     let k = ctx.params.k;
     let i = ctx.i;
 
-    // time := max(depart, (i + K) * tau)    {paper eq. 2}
-    let time = ctx.depart.max((i + k) as f64 * tau);
+    // t_i := max(d_{i-1}, (i + K) * tau)    {paper eq. 2, via start_time}
+    let time = ctx.start;
 
     // Inner loop: intersect [r_L(h), r_U(h)] for h = 0..H-1 (the slice is
     // pre-truncated to the lookahead window, paper's `seq_end` included).
-    let mut sum = 0.0f64;
-    let mut lower = 0.0f64;
-    let mut upper = f64::INFINITY;
-    let mut lower_old = 0.0f64;
-    let mut upper_old = f64::INFINITY;
-    let mut lower0 = 0.0f64;
-    let mut upper0 = f64::INFINITY;
+    let mut st = BoundState {
+        sum: 0.0,
+        lower: 0.0,
+        upper: f64::INFINITY,
+        lower_old: 0.0,
+        upper_old: f64::INFINITY,
+        lower0: 0.0,
+        upper0: f64::INFINITY,
+    };
     let mut h = 0usize;
     let mut crossed = false;
-    while h < ctx.sizes_ahead.len() {
-        sum += ctx.sizes_ahead[h];
-        lower_old = lower;
-        upper_old = upper;
-        // r_L(h): delay-bound constraint (paper eq. 12).
+
+    let sizes_ahead = ctx.sizes_ahead;
+    let len = sizes_ahead.len();
+    if len >= DECIDE_BLOCK {
+        (h, crossed) = bound_blocks8(
+            sizes_ahead,
+            i,
+            k,
+            tau,
+            d_bound,
+            time,
+            ctx.exact_prefix,
+            lanes,
+            &mut st,
+        );
+    }
+    // Scalar tail for the last `len % 8` steps — the pre-PR loop verbatim.
+    while !crossed && h < len {
+        st.sum += sizes_ahead[h];
+        st.lower_old = st.lower;
+        st.upper_old = st.upper;
         let dl = d_bound + (i + h) as f64 * tau - time;
-        let new_lower = if dl > 0.0 { sum / dl } else { f64::INFINITY };
-        // r_U(h): continuous-service constraint (paper eq. 13).
+        let new_lower = if dl > 0.0 { st.sum / dl } else { f64::INFINITY };
         let du = (i + h + k + 1) as f64 * tau - time;
-        let new_upper = if du > 0.0 { sum / du } else { f64::INFINITY };
-        lower = lower.max(new_lower);
-        upper = upper.min(new_upper);
+        let new_upper = if du > 0.0 { st.sum / du } else { f64::INFINITY };
+        st.lower = st.lower.max(new_lower);
+        st.upper = st.upper.min(new_upper);
         if h == 0 {
-            lower0 = new_lower;
-            upper0 = new_upper;
+            st.lower0 = new_lower;
+            st.upper0 = new_upper;
         }
         h += 1;
-        if lower > upper {
+        if st.lower > st.upper {
             crossed = true;
-            break;
         }
     }
+
+    finish_decision(
+        ctx,
+        time,
+        st.sum,
+        st.lower,
+        st.upper,
+        st.lower_old,
+        st.upper_old,
+        st.lower0,
+        st.upper0,
+        h,
+        crossed,
+    )
+}
+
+/// Turns the bound-intersection loop's exit state into a scheduled
+/// picture: rate selection, grid snapping, departure. Shared verbatim by
+/// [`decide_one`] and the frozen reference loop so the two can only
+/// differ in how they compute the (identical) bounds. Inlined, as the
+/// pre-PR code (where this tail was part of the decision loop body) was.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn finish_decision(
+    ctx: &DecideCtx<'_>,
+    time: f64,
+    sum: f64,
+    lower: f64,
+    upper: f64,
+    lower_old: f64,
+    upper_old: f64,
+    lower0: f64,
+    upper0: f64,
+    h: usize,
+    crossed: bool,
+) -> PictureSchedule {
+    let tau = ctx.params.tau;
+    let i = ctx.i;
 
     let rate = if crossed {
         // Early exit: with feasible parameters exactly one bound moved in
@@ -362,23 +717,22 @@ pub(crate) fn decide_one(ctx: &DecideCtx<'_>) -> PictureSchedule {
     }
 }
 
-/// Fills `scratch` with the lookahead window `S_i .. S_{i+look-1}`:
-/// exact sizes for the arrived prefix, `estimate(j)` beyond it. Shared by
-/// every `decide_one` caller so the resolution rule cannot drift.
-pub(crate) fn fill_lookahead(
-    scratch: &mut Vec<f64>,
-    i: usize,
-    look: usize,
-    visible: &[u64],
-    mut estimate: impl FnMut(usize) -> f64,
-) {
-    scratch.clear();
-    for j in i..i + look {
-        scratch.push(if j < visible.len() {
-            visible[j] as f64
-        } else {
-            estimate(j)
-        });
+/// Reusable working memory for smoothing runs: the incremental lookahead
+/// window plus any future per-run buffers.
+///
+/// One `SmoothScratch` serves any number of sequential runs — across
+/// pictures, traces, and parameter points — so the hot path allocates
+/// nothing once the window has reached its steady-state capacity. Create
+/// one per worker thread in batch settings (see [`smooth_batch`]).
+#[derive(Debug, Default)]
+pub struct SmoothScratch {
+    pub(crate) window: LookaheadWindow,
+}
+
+impl SmoothScratch {
+    /// Creates empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -407,57 +761,112 @@ impl<'a> Smoother<'a> {
     }
 
     /// Runs the algorithm over the whole trace (the paper's procedure
-    /// `smooth`, Figure 2).
+    /// `smooth`, Figure 2), with private scratch.
     pub fn run(&self) -> SmoothingResult {
-        let tau = self.params.tau;
-        let k = self.params.k;
-        let h_max = self.params.h;
-        let n_total = self.trace.len();
-        let sizes = &self.trace.sizes;
-        // Hoisted out of the per-picture loop: the pattern model and one
-        // scratch buffer holding the resolved lookahead sizes.
-        let pattern = self.trace.pattern;
-        let pattern_n = pattern.n();
-        let estimator = self.estimator;
-        let mut sizes_ahead: Vec<f64> = Vec::with_capacity(h_max);
-
-        let mut schedule = Vec::with_capacity(n_total);
-        let mut depart = 0.0f64;
-        let mut prev_rate: Option<f64> = None;
-
-        for i in 0..n_total {
-            let time = depart.max((i + k) as f64 * tau);
-
-            // Pictures fully arrived by `time`: j with (j+1)τ ≤ time.
-            // Pictures i .. i+K−1 are arrived by construction of `time`;
-            // the max() guards the exact-boundary float case.
-            let arrived_by_time = (((time + TIME_EPS) / tau).floor() as usize).min(n_total);
-            let arrived = arrived_by_time.max((i + k).min(n_total));
-
-            let visible = &sizes[..arrived];
-            fill_lookahead(&mut sizes_ahead, i, h_max.min(n_total - i), visible, |j| {
-                estimator.estimate(j, visible, &pattern)
-            });
-            let decision = decide_one(&DecideCtx {
-                params: &self.params,
-                sizes_ahead: &sizes_ahead,
-                pattern_n,
-                selection: self.selection,
-                i,
-                depart,
-                prev_rate,
-                size_i: sizes[i],
-            });
-            depart = decision.depart;
-            prev_rate = Some(decision.rate);
-            schedule.push(decision);
-        }
-
-        SmoothingResult {
-            params: self.params,
-            schedule,
-        }
+        self.run_with_scratch(&mut SmoothScratch::new())
     }
+
+    /// [`run`](Self::run) with caller-provided working memory, so batch
+    /// drivers amortize buffer growth across many runs.
+    ///
+    /// Per picture this costs the paper's O(H) interval-intersection loop
+    /// plus amortized O(1) lookahead maintenance (the
+    /// [`LookaheadWindow`] slides instead of refilling) — and, after
+    /// warm-up, zero allocations.
+    pub fn run_with_scratch(&self, scratch: &mut SmoothScratch) -> SmoothingResult {
+        run_core(
+            self.trace,
+            self.params,
+            self.estimator,
+            self.selection,
+            scratch,
+        )
+    }
+}
+
+/// The offline smoothing loop, generic over the estimator so the default
+/// path ([`smooth`]/[`smooth_with_scratch`] with a concrete
+/// [`PatternEstimator`]) monomorphizes — the closed-form estimate inlines
+/// into the window engine with no virtual dispatch. [`Smoother`] calls
+/// this with `E = dyn SizeEstimator`, keeping the flexible API.
+fn run_core<E: SizeEstimator + ?Sized>(
+    trace: &VideoTrace,
+    params: SmootherParams,
+    estimator: &E,
+    selection: RateSelection,
+    scratch: &mut SmoothScratch,
+) -> SmoothingResult {
+    let tau = params.tau;
+    let k = params.k;
+    let h_max = params.h;
+    let n_total = trace.len();
+    let sizes = &trace.sizes;
+    // Hoisted out of the per-picture loop: the pattern model and the
+    // estimator's invalidation contract.
+    let pattern = trace.pattern;
+    let pattern_n = pattern.n();
+    let invalidation = estimator.invalidation();
+    // Order-free prefix sums are bit-identical exactly when every window
+    // slot is a nonnegative integer-valued f64 (true sizes are u64 casts,
+    // exact below 2^53; the estimator vouches for its estimates) and no
+    // window partial sum can reach 2^53, where f64 addition starts to
+    // round. The margin of 2 ulps absorbs rounding in the check itself.
+    let exact_prefix = match estimator.integral_estimates() {
+        Some(bound) => {
+            let max_size = sizes.iter().copied().max().unwrap_or(0);
+            max_size < (1u64 << 53)
+                && (max_size as f64).max(bound) * ((h_max + 1) as f64) < 9007199254740990.0
+        }
+        None => false,
+    };
+    let window = &mut scratch.window;
+    window.reset();
+
+    let mut schedule = Vec::with_capacity(n_total);
+    let mut depart = 0.0f64;
+    let mut prev_rate: Option<f64> = None;
+    let mut lanes = BlockLanes::default();
+
+    for i in 0..n_total {
+        let time = params.start_time(i, depart);
+
+        // Pictures fully arrived by `time`: j with (j+1)τ ≤ time.
+        // Pictures i .. i+K−1 are arrived by construction of `time`;
+        // the max() guards the exact-boundary float case. Monotone in
+        // i (t_i is), as the window engine requires. `as usize`
+        // truncates toward zero, which equals `.floor()` for the
+        // nonnegative quotient — without the `floor` libcall baseline
+        // x86-64 needs.
+        let arrived_by_time = (((time + TIME_EPS) / tau) as usize).min(n_total);
+        let arrived = arrived_by_time.max((i + k).min(n_total));
+
+        let visible = &sizes[..arrived];
+        let sizes_ahead = window.advance(
+            i,
+            h_max.min(n_total - i),
+            visible,
+            invalidation,
+            pattern_n,
+            |j| estimator.estimate(j, visible, &pattern),
+        );
+        let ctx = DecideCtx {
+            params: &params,
+            sizes_ahead,
+            pattern_n,
+            selection,
+            i,
+            start: time,
+            prev_rate,
+            size_i: sizes[i],
+            exact_prefix,
+        };
+        let decision = decide_one(&ctx, &mut lanes);
+        depart = decision.depart;
+        prev_rate = Some(decision.rate);
+        schedule.push(decision);
+    }
+
+    SmoothingResult { params, schedule }
 }
 
 /// Smooths a trace with the paper's defaults: pattern-based size
@@ -475,6 +884,35 @@ pub fn smooth_with(
     selection: RateSelection,
 ) -> SmoothingResult {
     Smoother::new(trace, params, estimator, selection).run()
+}
+
+/// [`smooth`] with caller-provided scratch — the building block for batch
+/// drivers that reuse working memory across traces.
+pub fn smooth_with_scratch(
+    trace: &VideoTrace,
+    params: SmootherParams,
+    scratch: &mut SmoothScratch,
+) -> SmoothingResult {
+    // Concrete estimator type: run_core monomorphizes and the closed-form
+    // estimate inlines into the window engine.
+    let estimator = PatternEstimator::default();
+    run_core(trace, params, &estimator, RateSelection::Basic, scratch)
+}
+
+/// Smooths many (trace, params) jobs sequentially through one reused
+/// [`SmoothScratch`], with the paper's default estimator and selection.
+///
+/// This is the serial batch primitive: after the first job's warm-up the
+/// per-picture hot path performs no allocations at all. The parallel
+/// counterpart (`smooth_batch` in the `smooth-sweep` crate) shards jobs
+/// across workers, each holding its own scratch.
+pub fn smooth_batch<'a>(
+    jobs: impl IntoIterator<Item = (&'a VideoTrace, SmootherParams)>,
+    scratch: &mut SmoothScratch,
+) -> Vec<SmoothingResult> {
+    jobs.into_iter()
+        .map(|(trace, params)| smooth_with_scratch(trace, params, scratch))
+        .collect()
 }
 
 #[cfg(test)]
@@ -543,7 +981,7 @@ mod tests {
         let r = smooth(&trace, params(0.3, 1, 9));
         // Rate changes confined to the first patterns; the steady state
         // tail is constant.
-        let rates = r.rates();
+        let rates: Vec<f64> = r.rates().collect();
         let tail = &rates[36..];
         let changes = tail.windows(2).filter(|w| w[0] != w[1]).count();
         assert_eq!(
@@ -717,7 +1155,8 @@ mod tests {
     fn rate_changes_counts_transitions() {
         let trace = toy_trace(90);
         let r = smooth(&trace, params(0.2, 1, 9));
-        let manual = r.rates().windows(2).filter(|w| w[0] != w[1]).count();
+        let rates: Vec<f64> = r.rates().collect();
+        let manual = rates.windows(2).filter(|w| w[0] != w[1]).count();
         assert_eq!(r.rate_changes(), manual);
     }
 
@@ -728,7 +1167,7 @@ mod tests {
         let trace = toy_trace(180);
         let sd = |d: f64| {
             let r = smooth(&trace, params(d, 1, 9));
-            let rates = r.rates();
+            let rates: Vec<f64> = r.rates().collect();
             let m = rates.iter().sum::<f64>() / rates.len() as f64;
             (rates.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / rates.len() as f64).sqrt()
         };
@@ -752,8 +1191,7 @@ mod tests {
         // a bound clamp where no multiple fits the interval.
         let on_grid = r
             .rates()
-            .iter()
-            .filter(|&&x| (x / grid - (x / grid).round()).abs() < 1e-9)
+            .filter(|&x| (x / grid - (x / grid).round()).abs() < 1e-9)
             .count();
         assert!(
             on_grid * 10 >= r.schedule.len() * 9,

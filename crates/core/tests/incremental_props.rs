@@ -1,0 +1,153 @@
+//! Properties pinning the incremental lookahead engine to its naive
+//! reference (see `smooth_core::reference`).
+//!
+//! PR 3's contract is that the O(1)-per-picture fast paths are **bit
+//! identical** to the superseded per-picture refill + walk-back code, for
+//! every trace, parameter set, and estimator. These properties quantify
+//! over random inputs in three regimes — offline, online with a declared
+//! length, and live streaming with an unknown length — plus the
+//! closed-form pattern estimate on its own.
+
+use proptest::prelude::*;
+use smooth_core::reference::{
+    smooth_live_reference, smooth_reference_with, walk_back_estimate, ReferencePatternEstimator,
+};
+use smooth_core::{
+    smooth, smooth_streaming, smooth_with, OnlineSmoother, PatternEstimator, RateSelection,
+    SizeEstimator, SmootherParams, TypeDefaultEstimator,
+};
+use smooth_mpeg::{GopPattern, Resolution};
+use smooth_trace::VideoTrace;
+
+const TAU: f64 = 1.0 / 30.0;
+
+/// Strategy: a random regular GOP pattern.
+fn arb_pattern() -> impl Strategy<Value = GopPattern> {
+    prop_oneof![
+        Just((3usize, 9usize)),
+        Just((2, 6)),
+        Just((3, 12)),
+        Just((1, 5)),
+        Just((1, 1)),
+        Just((4, 12)),
+        Just((2, 2)),
+    ]
+    .prop_map(|(m, n)| GopPattern::new(m, n).expect("regular pattern"))
+}
+
+/// Strategy: a random trace over a random pattern, 1..150 pictures with
+/// sizes spanning three orders of magnitude.
+fn arb_trace() -> impl Strategy<Value = VideoTrace> {
+    (arb_pattern(), 1usize..150)
+        .prop_flat_map(|(pattern, len)| {
+            (
+                Just(pattern),
+                proptest::collection::vec(1_000u64..1_000_000, len),
+            )
+        })
+        .prop_map(|(pattern, sizes)| {
+            VideoTrace::new("prop", pattern, Resolution::VGA, 30.0, sizes).expect("positive sizes")
+        })
+}
+
+/// Strategy: feasible parameters with K >= 1 and H spanning well past the
+/// pattern length (the window engine's interesting regimes are H < N,
+/// H = N, and H >> N).
+fn arb_params() -> impl Strategy<Value = SmootherParams> {
+    (1usize..=5, 1usize..=40, 0.0f64..0.4).prop_map(|(k, h, extra_slack)| {
+        let d = (k as f64 + 1.0) * TAU + extra_slack;
+        SmootherParams::new(d, k, h, TAU).expect("feasible by construction")
+    })
+}
+
+/// Strategy: one of the rate-selection policies.
+fn arb_selection() -> impl Strategy<Value = RateSelection> {
+    prop_oneof![
+        Just(RateSelection::Basic),
+        Just(RateSelection::MovingAverage),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The closed-form O(1) pattern estimate equals the paper's literal
+    /// walk-back loop for every (pattern, arrived prefix, slot).
+    #[test]
+    fn estimator_closed_form_equals_walk_back(
+        pattern in arb_pattern(),
+        arrived in proptest::collection::vec(1u64..1_000_000, 0..100),
+        j in 0usize..220,
+    ) {
+        let est = PatternEstimator::default();
+        let closed = est.estimate(j, &arrived, &pattern);
+        let walked = walk_back_estimate(&est.defaults, j, &arrived, &pattern);
+        prop_assert_eq!(closed.to_bits(), walked.to_bits(), "j={} n={}", j, pattern.n());
+    }
+
+    /// Offline: the window-engine smoother is bit-identical to the naive
+    /// per-picture refill, for both the pattern and type-default
+    /// estimators and both rate selections.
+    #[test]
+    fn offline_engine_matches_naive_reference(
+        trace in arb_trace(),
+        params in arb_params(),
+        selection in arb_selection(),
+    ) {
+        let pat = PatternEstimator::default();
+        let walk = ReferencePatternEstimator::default();
+        prop_assert_eq!(
+            smooth_with(&trace, params, &pat, selection),
+            smooth_reference_with(&trace, params, &walk, selection)
+        );
+        let typed = TypeDefaultEstimator::default();
+        prop_assert_eq!(
+            smooth_with(&trace, params, &typed, selection),
+            smooth_reference_with(&trace, params, &typed, selection)
+        );
+    }
+
+    /// Online with a declared length: streaming through the incremental
+    /// window equals both the offline engine and the naive reference.
+    #[test]
+    fn online_stored_matches_offline_and_reference(
+        trace in arb_trace(),
+        params in arb_params(),
+    ) {
+        let streamed = smooth_streaming(&trace, params);
+        prop_assert_eq!(&streamed, &smooth(&trace, params));
+        let walk = ReferencePatternEstimator::default();
+        prop_assert_eq!(
+            streamed,
+            smooth_reference_with(&trace, params, &walk, RateSelection::Basic)
+        );
+    }
+
+    /// Live streaming (unknown length until `finish`): the incremental
+    /// window inside [`OnlineSmoother`] is bit-identical to the naive
+    /// live reference loop.
+    #[test]
+    fn online_live_matches_naive_reference(
+        trace in arb_trace(),
+        params in arb_params(),
+        selection in arb_selection(),
+    ) {
+        let mut online = OnlineSmoother::with_estimator(
+            params,
+            trace.pattern,
+            PatternEstimator::default(),
+            selection,
+            None,
+        );
+        let mut schedule = Vec::with_capacity(trace.len());
+        for &s in &trace.sizes {
+            schedule.extend(online.push(s));
+        }
+        schedule.extend(online.finish());
+
+        let walk = ReferencePatternEstimator::default();
+        let reference = smooth_live_reference(&trace, params, &walk, selection);
+        prop_assert_eq!(schedule.len(), reference.schedule.len());
+        prop_assert_eq!(schedule, reference.schedule);
+    }
+}

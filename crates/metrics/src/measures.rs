@@ -84,8 +84,28 @@ pub struct DelayStats {
 }
 
 /// Computes delay statistics, counting entries above `bound` when given.
-pub fn delay_stats(delays: &[f64], bound: Option<f64>) -> DelayStats {
-    if delays.is_empty() {
+///
+/// Accepts any delay iterator — pass `result.delays()` directly (no
+/// intermediate `Vec`), or a slice via `.iter().copied()` — and makes one
+/// allocation-free pass.
+pub fn delay_stats(delays: impl IntoIterator<Item = f64>, bound: Option<f64>) -> DelayStats {
+    let mut count = 0usize;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0f64;
+    let mut over_bound = 0usize;
+    for d in delays {
+        count += 1;
+        min = min.min(d);
+        max = max.max(d);
+        sum += d;
+        if let Some(b) = bound {
+            if d > b + 1e-9 {
+                over_bound += 1;
+            }
+        }
+    }
+    if count == 0 {
         return DelayStats {
             count: 0,
             min: 0.0,
@@ -94,18 +114,11 @@ pub fn delay_stats(delays: &[f64], bound: Option<f64>) -> DelayStats {
             over_bound: 0,
         };
     }
-    let min = delays.iter().copied().fold(f64::INFINITY, f64::min);
-    let max = delays.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let mean = delays.iter().sum::<f64>() / delays.len() as f64;
-    let over_bound = match bound {
-        Some(b) => delays.iter().filter(|&&d| d > b + 1e-9).count(),
-        None => 0,
-    };
     DelayStats {
-        count: delays.len(),
+        count,
         min,
         max,
-        mean,
+        mean: sum / count as f64,
         over_bound,
     }
 }
@@ -195,20 +208,20 @@ mod tests {
 
     #[test]
     fn delay_stats_basics() {
-        let d = vec![0.05, 0.08, 0.12, 0.07];
-        let s = delay_stats(&d, Some(0.1));
+        let d = [0.05, 0.08, 0.12, 0.07];
+        let s = delay_stats(d.iter().copied(), Some(0.1));
         assert_eq!(s.count, 4);
         assert!((s.min - 0.05).abs() < 1e-12);
         assert!((s.max - 0.12).abs() < 1e-12);
         assert!((s.mean - 0.08).abs() < 1e-12);
         assert_eq!(s.over_bound, 1);
-        let s2 = delay_stats(&d, None);
+        let s2 = delay_stats(d.iter().copied(), None);
         assert_eq!(s2.over_bound, 0);
     }
 
     #[test]
     fn delay_stats_empty() {
-        let s = delay_stats(&[], Some(0.1));
+        let s = delay_stats(std::iter::empty(), Some(0.1));
         assert_eq!(s.count, 0);
         assert_eq!(s.max, 0.0);
     }

@@ -383,11 +383,18 @@ fn cmd_sweep(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
             params,
         })
         .collect();
+    let t0 = std::time::Instant::now();
     let results = smooth_sweep::smooth_jobs(threads, &jobs, &estimator, RateSelection::Basic);
+    let wall = t0.elapsed().as_secs_f64();
+    let pictures = (grid.len() * trace.len()) as f64;
+    let pps = if wall > 0.0 { pictures / wall } else { 0.0 };
 
+    // Throughput shares the thread-count line: the thread-invariance test
+    // strips lines containing "thread(s)", and wall time is the one thing
+    // allowed to vary between runs.
     let _ = writeln!(
         out,
-        "sweep: {} configs x {} pictures on {threads} thread(s){}",
+        "sweep: {} configs x {} pictures on {threads} thread(s){}, {pps:.0} pictures/s",
         grid.len(),
         trace.len(),
         if skipped > 0 {

@@ -1,14 +1,20 @@
 //! Wall-clock recording for sweep runs: the `BENCH_sweep.json` report.
 //!
 //! The experiments binary times each figure's generation and serializes a
-//! [`SweepBenchReport`] so perf regressions across commits are diffable
-//! (thread count, per-figure wall seconds, serial baselines where
-//! measured).
+//! [`SweepBenchReport`] so perf regressions across commits are diffable:
+//! thread count **with its provenance** (flag/env/cores — so the report
+//! can never silently contradict `available_cores`), per-figure wall
+//! seconds with serial baselines, hot-path throughput records
+//! (pictures/sec on a synthetic trace), and the git commit the numbers
+//! belong to.
 
 use std::path::Path;
+use std::process::Command;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
+
+use crate::ThreadSource;
 
 /// Timing for one named unit of sweep work (usually a figure).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -35,27 +41,87 @@ impl FigureTiming {
     }
 }
 
+/// One hot-path throughput measurement: how many pictures per second a
+/// named configuration schedules.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputRecord {
+    /// Configuration label, e.g. `hotpath_synthetic_1M_H32_engine`.
+    pub name: String,
+    /// Pictures scheduled.
+    pub pictures: u64,
+    /// Wall-clock seconds.
+    pub wall_seconds: f64,
+    /// `pictures / wall_seconds`.
+    pub pictures_per_sec: f64,
+    /// Worker threads the measurement used (1 = serial hot path).
+    pub threads: usize,
+}
+
+impl ThroughputRecord {
+    /// Builds a record from raw counts, deriving the rate.
+    pub fn new(name: &str, pictures: u64, wall_seconds: f64, threads: usize) -> Self {
+        ThroughputRecord {
+            name: name.to_string(),
+            pictures,
+            wall_seconds,
+            pictures_per_sec: if wall_seconds > 0.0 {
+                pictures as f64 / wall_seconds
+            } else {
+                0.0
+            },
+            threads,
+        }
+    }
+}
+
 /// The on-disk `BENCH_sweep.json` document.
+///
+/// Fields added after the first release carry `#[serde(default)]` so old
+/// reports still load.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepBenchReport {
     /// Worker threads the timed runs used.
     pub threads: usize,
+    /// Where `threads` came from: `"flag"`, `"env"`, or `"cores"`.
+    #[serde(default)]
+    pub thread_source: String,
     /// Cores the machine reported at run time.
     pub available_cores: usize,
+    /// Commit the numbers were measured at (`git rev-parse HEAD`), empty
+    /// when git was unavailable.
+    #[serde(default)]
+    pub git_commit: String,
     pub figures: Vec<FigureTiming>,
+    /// Hot-path throughput measurements (see [`ThroughputRecord`]).
+    #[serde(default)]
+    pub throughput: Vec<ThroughputRecord>,
     pub total_seconds: f64,
 }
 
 impl SweepBenchReport {
     pub fn new(threads: usize) -> Self {
+        Self::with_thread_source(threads, ThreadSource::Flag)
+    }
+
+    /// Creates a report recording both the worker count and how it was
+    /// chosen, plus the current git commit when resolvable.
+    pub fn with_thread_source(threads: usize, source: ThreadSource) -> Self {
         SweepBenchReport {
             threads,
+            thread_source: source.as_str().to_string(),
             available_cores: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            git_commit: current_git_commit().unwrap_or_default(),
             figures: Vec::new(),
+            throughput: Vec::new(),
             total_seconds: 0.0,
         }
+    }
+
+    /// Appends a throughput measurement.
+    pub fn record_throughput(&mut self, record: ThroughputRecord) {
+        self.throughput.push(record);
     }
 
     /// Times `f`, records it under `name`, and returns its output.
@@ -94,25 +160,72 @@ impl SweepBenchReport {
     }
 }
 
+/// `git rev-parse HEAD` of the working directory, if git is present and
+/// this is a repository.
+pub fn current_git_commit() -> Option<String> {
+    let out = Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let hash = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    if hash.is_empty() {
+        None
+    } else {
+        Some(hash)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn report_round_trips_through_json() {
-        let mut report = SweepBenchReport::new(4);
+        let mut report = SweepBenchReport::with_thread_source(4, ThreadSource::Env);
         let x = report.time("fig7", || 41 + 1);
         assert_eq!(x, 42);
         report.time("fig8", || ());
         report.set_serial_baseline("fig7", 2.0);
+        report.record_throughput(ThroughputRecord::new("hotpath", 1_000_000, 0.5, 1));
         assert_eq!(report.figures.len(), 2);
         assert!(report.total_seconds >= 0.0);
+        assert_eq!(report.thread_source, "env");
 
         let json = report.to_json();
         let back: SweepBenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
         assert!(back.figures[0].serial_seconds.is_some());
         assert!(back.figures[1].serial_seconds.is_none());
+        assert_eq!(back.throughput.len(), 1);
+        assert!((back.throughput[0].pictures_per_sec - 2_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn old_reports_without_new_fields_still_load() {
+        // The pre-PR on-disk schema: no thread_source, git_commit, or
+        // throughput keys.
+        let legacy = r#"{
+            "threads": 2,
+            "available_cores": 1,
+            "figures": [
+                {"name": "fig7", "wall_seconds": 1.5, "serial_seconds": 3.0}
+            ],
+            "total_seconds": 1.5
+        }"#;
+        let report: SweepBenchReport = serde_json::from_str(legacy).unwrap();
+        assert_eq!(report.threads, 2);
+        assert_eq!(report.thread_source, "");
+        assert_eq!(report.git_commit, "");
+        assert!(report.throughput.is_empty());
+    }
+
+    #[test]
+    fn zero_wall_seconds_gives_zero_rate() {
+        let r = ThroughputRecord::new("degenerate", 10, 0.0, 1);
+        assert_eq!(r.pictures_per_sec, 0.0);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! hermetic (no crates.io), so the dependency is vendored in spirit — the
 //! API mirrors a `par_iter().map().collect()` at the one call shape the
 //! workspace needs. Swapping the internals for rayon later only touches
-//! [`par_map`].
+//! [`par_map_with`] (which [`par_map`] and [`smooth_batch`] wrap).
 //!
 //! Thread-count resolution order: explicit argument, else a process-wide
 //! override ([`set_default_threads`], what `--threads` flags set), else
@@ -22,9 +22,12 @@
 //! ([`std::thread::available_parallelism`]).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use smooth_core::estimate::SizeEstimator;
-use smooth_core::{smooth_with, RateSelection, SmootherParams, SmoothingResult};
+use smooth_core::{
+    smooth_with, smooth_with_scratch, RateSelection, SmoothScratch, SmootherParams, SmoothingResult,
+};
 use smooth_trace::VideoTrace;
 
 pub mod bench;
@@ -42,29 +45,63 @@ pub fn set_default_threads(n: usize) {
 /// Default worker count: the [`set_default_threads`] override if set,
 /// else `SMOOTH_THREADS` if set and positive, else all available cores.
 pub fn default_threads() -> usize {
-    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
-    if global > 0 {
-        return global;
-    }
-    if let Ok(v) = std::env::var("SMOOTH_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    resolve_threads_with_source(None).0
 }
 
 /// Resolves an optional user-facing thread request (`--threads`):
 /// `None` or `Some(0)` mean "use the default".
 pub fn resolve_threads(requested: Option<usize>) -> usize {
-    match requested {
-        Some(n) if n > 0 => n,
-        _ => default_threads(),
+    resolve_threads_with_source(requested).0
+}
+
+/// Where a resolved worker count came from — recorded in
+/// `BENCH_sweep.json` so a report can never claim a thread count the
+/// machine does not explain (e.g. `threads: 2` next to
+/// `available_cores: 1` with no hint that a flag forced it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadSource {
+    /// An explicit request (a `--threads` flag or API argument), including
+    /// a [`set_default_threads`] override installed by a flag.
+    Flag,
+    /// The `SMOOTH_THREADS` environment variable.
+    Env,
+    /// [`std::thread::available_parallelism`] (or 1 if unknown).
+    Cores,
+}
+
+impl ThreadSource {
+    /// Stable lowercase label used in reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ThreadSource::Flag => "flag",
+            ThreadSource::Env => "env",
+            ThreadSource::Cores => "cores",
+        }
     }
+}
+
+/// [`resolve_threads`] plus the provenance of the returned count.
+pub fn resolve_threads_with_source(requested: Option<usize>) -> (usize, ThreadSource) {
+    if let Some(n) = requested {
+        if n > 0 {
+            return (n, ThreadSource::Flag);
+        }
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global > 0 {
+        return (global, ThreadSource::Flag);
+    }
+    if let Ok(v) = std::env::var("SMOOTH_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return (n, ThreadSource::Env);
+            }
+        }
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    (cores, ThreadSource::Cores)
 }
 
 /// Applies `f` to every item and collects results **in input order**.
@@ -82,10 +119,34 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_with(threads, items, || (), |_, i, t| f(i, t))
+}
+
+/// [`par_map`] with per-worker state: each worker calls `init` once and
+/// threads the resulting value through every job it claims.
+///
+/// Determinism is unchanged — results are placed by input index, and the
+/// contract on `f` is that its *output* must not depend on the state's
+/// history (state is scratch memory, not an accumulator). This is the
+/// hook [`smooth_batch`] uses to give every worker one reused
+/// [`SmoothScratch`], so the per-picture hot path allocates nothing no
+/// matter how jobs are distributed.
+pub fn par_map_with<T, R, S, I, F>(threads: usize, items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
     let n = items.len();
     let workers = threads.max(1).min(n.max(1));
     if workers <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, i, t))
+            .collect();
     }
 
     let cursor = AtomicUsize::new(0);
@@ -93,13 +154,14 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut state = init();
                     let mut local = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        local.push((i, f(i, &items[i])));
+                        local.push((i, f(&mut state, i, &items[i])));
                     }
                     local
                 })
@@ -111,7 +173,6 @@ where
             .collect()
     });
 
-    // Index-ordered placement: determinism independent of scheduling.
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     for bucket in buckets {
         for (i, r) in bucket {
@@ -164,6 +225,51 @@ pub fn smooth_grid(
         })
         .collect();
     smooth_jobs(threads, &jobs, estimator, selection)
+}
+
+/// Aggregate throughput of one [`smooth_batch`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchStats {
+    /// Jobs executed.
+    pub jobs: usize,
+    /// Total pictures scheduled across all jobs.
+    pub pictures: u64,
+    /// Wall-clock seconds for the whole batch.
+    pub wall_seconds: f64,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl BatchStats {
+    /// Aggregate pictures scheduled per wall-clock second.
+    pub fn pictures_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.pictures as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Smooths many (trace, params) jobs with the paper's defaults, sharding
+/// across `threads` deterministic workers that each reuse one
+/// [`SmoothScratch`], and reports aggregate throughput.
+///
+/// Results arrive in job order and are bit-identical for every thread
+/// count (the `batch_is_thread_count_invariant` proptest pins this); only
+/// [`BatchStats::wall_seconds`] varies between runs.
+pub fn smooth_batch(threads: usize, jobs: &[SweepJob<'_>]) -> (Vec<SmoothingResult>, BatchStats) {
+    let t0 = Instant::now();
+    let results = par_map_with(threads, jobs, SmoothScratch::new, |scratch, _, job| {
+        smooth_with_scratch(job.trace, job.params, scratch)
+    });
+    let stats = BatchStats {
+        jobs: jobs.len(),
+        pictures: jobs.iter().map(|j| j.trace.len() as u64).sum(),
+        wall_seconds: t0.elapsed().as_secs_f64(),
+        threads: threads.max(1),
+    };
+    (results, stats)
 }
 
 #[cfg(test)]
@@ -244,5 +350,64 @@ mod tests {
         assert_eq!(resolve_threads(Some(3)), 3);
         assert!(resolve_threads(None) >= 1);
         assert!(resolve_threads(Some(0)) >= 1);
+    }
+
+    #[test]
+    fn resolve_threads_reports_source() {
+        assert_eq!(
+            resolve_threads_with_source(Some(3)),
+            (3, ThreadSource::Flag)
+        );
+        let (n, src) = resolve_threads_with_source(None);
+        assert!(n >= 1);
+        // Without an explicit request the source is whatever the process
+        // environment dictates — never Flag unless an override is set.
+        if GLOBAL_THREADS.load(Ordering::Relaxed) == 0 {
+            assert_ne!(src, ThreadSource::Flag);
+        }
+        assert_eq!(ThreadSource::Cores.as_str(), "cores");
+        assert_eq!(ThreadSource::Env.as_str(), "env");
+        assert_eq!(ThreadSource::Flag.as_str(), "flag");
+    }
+
+    #[test]
+    fn par_map_with_reuses_state_within_worker() {
+        let items: Vec<usize> = (0..50).collect();
+        // State counts how many jobs this worker has run; output must not
+        // depend on it (the contract), but we can observe reuse serially.
+        let out = par_map_with(
+            1,
+            &items,
+            || 0usize,
+            |seen, i, &x| {
+                *seen += 1;
+                assert_eq!(*seen, i + 1, "serial worker sees every job");
+                x * 2
+            },
+        );
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_matches_smooth_jobs_for_any_thread_count() {
+        let t0 = trace(120, 3);
+        let t1 = trace(90, 8);
+        let jobs: Vec<SweepJob<'_>> = [
+            (&t0, SmootherParams::at_30fps(0.1, 1, 9).unwrap()),
+            (&t1, SmootherParams::at_30fps(0.2, 1, 9).unwrap()),
+            (&t0, SmootherParams::at_30fps(0.2, 3, 18).unwrap()),
+        ]
+        .into_iter()
+        .map(|(trace, params)| SweepJob { trace, params })
+        .collect();
+        let est = PatternEstimator::default();
+        let expected = smooth_jobs(1, &jobs, &est, RateSelection::Basic);
+        for threads in [1, 2, 4] {
+            let (got, stats) = smooth_batch(threads, &jobs);
+            assert_eq!(got, expected, "threads={threads}");
+            assert_eq!(stats.jobs, 3);
+            assert_eq!(stats.pictures, 120 + 90 + 120);
+            assert!(stats.pictures_per_sec() > 0.0);
+        }
     }
 }

@@ -7,9 +7,9 @@
 
 use proptest::prelude::*;
 use smooth_core::estimate::PatternEstimator;
-use smooth_core::{RateSelection, SmootherParams};
+use smooth_core::{smooth, RateSelection, SmootherParams};
 use smooth_mpeg::{GopPattern, Resolution};
-use smooth_sweep::{par_map, smooth_grid};
+use smooth_sweep::{par_map, smooth_batch, smooth_grid, SweepJob};
 use smooth_trace::VideoTrace;
 
 proptest! {
@@ -51,5 +51,42 @@ proptest! {
         let serial = smooth_grid(1, &[&trace], &params, &est, RateSelection::Basic);
         let parallel = smooth_grid(threads, &[&trace], &params, &est, RateSelection::Basic);
         prop_assert_eq!(serial, parallel);
+    }
+
+    /// `smooth_batch` (scratch-reusing workers) equals the one-shot
+    /// offline smoother per job, for any worker count — reused scratch
+    /// must never leak state between jobs, and sharding must never
+    /// reorder results.
+    #[test]
+    fn batch_is_thread_count_invariant_and_matches_one_shot(
+        sizes_a in proptest::collection::vec(1_000u64..400_000, 1..90),
+        sizes_b in proptest::collection::vec(1_000u64..400_000, 1..90),
+        k in 1usize..4,
+        h in 1usize..24,
+        threads in 1usize..17,
+    ) {
+        let pattern = GopPattern::new(3, 9).expect("valid pattern");
+        let ta = VideoTrace::new("a", pattern, Resolution::VGA, 30.0, sizes_a)
+            .expect("valid trace");
+        let tb = VideoTrace::new("b", pattern, Resolution::VGA, 30.0, sizes_b)
+            .expect("valid trace");
+        let params = SmootherParams::at_30fps(0.2, k, h);
+        prop_assume!(params.is_ok());
+        let params = params.expect("checked feasible");
+        // Alternate traces so consecutive jobs on one worker differ in
+        // length — the stale-scratch shape most likely to leak.
+        let jobs: Vec<SweepJob<'_>> = [&ta, &tb, &ta, &tb, &ta]
+            .into_iter()
+            .map(|trace| SweepJob { trace, params })
+            .collect();
+
+        let (results, stats) = smooth_batch(threads, &jobs);
+        let expected: Vec<_> = jobs.iter().map(|j| smooth(j.trace, j.params)).collect();
+        prop_assert_eq!(results, expected);
+        prop_assert_eq!(stats.jobs, jobs.len());
+        prop_assert_eq!(
+            stats.pictures,
+            (3 * ta.len() + 2 * tb.len()) as u64
+        );
     }
 }

@@ -39,7 +39,7 @@ fn main() {
     let naive = smooth(&naive_trace, params);
 
     let stats = |r: &SmoothingResult| {
-        let rates = r.rates();
+        let rates: Vec<f64> = r.rates().collect();
         let mean = rates.iter().sum::<f64>() / rates.len() as f64;
         let sd = (rates.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / rates.len() as f64)
             .sqrt();

@@ -33,7 +33,7 @@ fn main() {
     for d in [0.0667, 0.1, 0.1333, 0.2, 0.3] {
         let result = smooth(&video, SmootherParams::at_30fps(d, 1, n).expect("feasible"));
         let m = measure(&video, &result);
-        let ds = delay_stats(&result.delays(), Some(d));
+        let ds = delay_stats(result.delays(), Some(d));
         println!(
             "{:>8.4}  {:>9.4}  {:>8}  {:>10.3}  {:>9.1}  {:>8.1}ms",
             d,
@@ -78,7 +78,7 @@ fn main() {
         let params = SmootherParams::constant_slack(k, n, 1.0 / 30.0);
         let result = smooth(&video, params);
         let m = measure(&video, &result);
-        let ds = delay_stats(&result.delays(), None);
+        let ds = delay_stats(result.delays(), None);
         println!(
             "{:>4}  {:>9.4}  {:>8}  {:>10.3}  {:>8.1}ms",
             k,

@@ -81,12 +81,12 @@ fn fig5_delay_comparison_with_ideal() {
     let trace = driving1();
     for d in [0.1, 0.3] {
         let result = smooth(&trace, SmootherParams::at_30fps(d, 1, 9).unwrap());
-        let stats = delay_stats(&result.delays(), Some(d));
+        let stats = delay_stats(result.delays(), Some(d));
         assert_eq!(stats.over_bound, 0, "D={d}");
         assert!(stats.max <= d + 1e-9);
     }
     let ideal = ideal_smooth(&trace);
-    let ideal_stats = delay_stats(&ideal.delays(), None);
+    let ideal_stats = delay_stats(ideal.delays(), None);
     // N = 9 at 30 pictures/s: ideal buffers a whole pattern, so delays sit
     // well above 0.3 s for the first pictures of each pattern.
     assert!(
@@ -105,8 +105,8 @@ fn fig5_k1_has_smaller_delays_than_k9() {
     let trace = driving1();
     let r1 = smooth(&trace, SmootherParams::constant_slack(1, 9, TAU));
     let r9 = smooth(&trace, SmootherParams::constant_slack(9, 9, TAU));
-    let d1 = delay_stats(&r1.delays(), None);
-    let d9 = delay_stats(&r9.delays(), None);
+    let d1 = delay_stats(r1.delays(), None);
+    let d9 = delay_stats(r9.delays(), None);
     assert!(
         d9.mean > d1.mean + 0.1,
         "K=9 mean delay {} should exceed K=1 mean delay {} by ~(K-1)τ",

@@ -152,7 +152,7 @@ proptest! {
         let d = 2.0 * TAU + extra;
         let opt = ott_smooth(&trace, d).expect("feasible");
         let online = smooth(&trace, SmootherParams::new(d, 1, 9, TAU).expect("feasible"));
-        let online_peak = online.rates().into_iter().fold(0.0f64, f64::max);
+        let online_peak = online.rates().fold(0.0f64, f64::max);
         prop_assert!(opt.max_rate() <= online_peak + 1e-6,
             "oracle {} > online {}", opt.max_rate(), online_peak);
     }
