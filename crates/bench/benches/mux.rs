@@ -1,0 +1,52 @@
+//! Multiplexer throughput: breakpoint events per second through the
+//! streaming k-way-merge engine vs the frozen quadratic
+//! `mux::reference`, over the synthetic scale ladder.
+//!
+//! The streaming engine is benched at S ∈ {16, 256, 1 000, 10 000}; the
+//! reference only up to S = 256 here (its S² cost would make a Criterion
+//! run at 1k+ take minutes per sample). The `Throughput::Elements` line
+//! reports events/second, so rows are comparable across S.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smooth_bench::muxbench::synthetic_ensemble;
+use smooth_metrics::StepFunction;
+use smooth_netsim::{mux, FluidMux, RateSweep};
+
+fn events(inputs: &[StepFunction]) -> u64 {
+    inputs.iter().map(|f| f.breakpoints().len() as u64).sum()
+}
+
+fn mux_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mux");
+    group.sample_size(10);
+
+    for sources in [16usize, 256, 1_000, 10_000] {
+        let inputs = synthetic_ensemble(sources);
+        let horizon = inputs.iter().map(|f| f.domain_end()).fold(0.0, f64::max);
+        let capacity_bps = 2.35e6 * sources as f64;
+        let buffer_bits = 2.0e3 * sources as f64;
+        group.throughput(Throughput::Elements(events(&inputs)));
+
+        let sweep = RateSweep {
+            capacity_bps,
+            buffer_bits,
+        };
+        group.bench_function(BenchmarkId::new("engine", sources), |b| {
+            b.iter(|| sweep.run(&inputs, 0.0, horizon))
+        });
+
+        if sources <= 256 {
+            let fluid = FluidMux {
+                capacity_bps,
+                buffer_bits,
+            };
+            group.bench_function(BenchmarkId::new("reference", sources), |b| {
+                b.iter(|| mux::reference::run(&fluid, &inputs, 0.0, horizon))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, mux_throughput);
+criterion_main!(benches);

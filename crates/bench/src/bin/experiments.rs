@@ -2,7 +2,7 @@
 //!
 //! ```sh
 //! experiments [names...] [--csv-dir DIR] [--series] [--threads N]
-//!             [--bench-json PATH]
+//!             [--bench-json PATH] [--sources N]
 //! ```
 //!
 //! With no names, runs everything. Series tables (thousands of rows,
@@ -16,11 +16,15 @@
 //! *every* figure when the main run was parallel (so per-figure speedups
 //! are tracked suite-wide), and hot-path throughput (pictures/sec for the
 //! incremental engine vs the naive reference on a synthetic 1M-picture
-//! trace at H = 32, plus a parallel batch over the same workload).
+//! trace at H = 32, plus a parallel batch over the same workload) and
+//! multiplexer-sweep throughput (events/sec for the streaming k-way-merge
+//! engine vs the frozen quadratic `mux::reference`, over a source-count
+//! ladder up to 10k — or at exactly `--sources N` when given).
 
 use std::time::Instant;
 
 use smooth_bench::experiments;
+use smooth_bench::muxbench;
 use smooth_bench::throughput;
 use smooth_sweep::bench::SweepBenchReport;
 
@@ -31,6 +35,7 @@ fn main() {
     let mut bench_json = String::from("BENCH_sweep.json");
     let mut print_series = false;
     let mut threads_opt: Option<usize> = None;
+    let mut sources_opt: Option<usize> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -56,11 +61,21 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--sources" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--sources requires a value");
+                    std::process::exit(2);
+                });
+                sources_opt = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--sources: cannot parse {v:?}");
+                    std::process::exit(2);
+                }));
+            }
             "--series" => print_series = true,
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [names...] [--csv-dir DIR] [--series] \
-                     [--threads N] [--bench-json PATH]"
+                     [--threads N] [--bench-json PATH] [--sources N]"
                 );
                 println!(
                     "names: {}",
@@ -162,6 +177,31 @@ fn main() {
             record.threads
         );
         report.record_throughput(record);
+    }
+    println!();
+
+    // Multiplexer-sweep throughput: the acceptance gauge for the
+    // streaming k-way-merge mux (see crates/bench/src/muxbench.rs).
+    println!("==================== mux throughput ====================");
+    let mux_records = match sources_opt {
+        Some(sources) => muxbench::scaled_mux_suite(threads, sources),
+        None => muxbench::standard_mux_suite(threads),
+    };
+    for record in mux_records {
+        let speedup = record
+            .speedup
+            .map(|s| format!(", {s:.1}x vs reference"))
+            .unwrap_or_default();
+        println!(
+            "{}: {:.0} events/s ({} sources, {} events, {:.4}s{speedup}, {} thread(s))",
+            record.name,
+            record.events_per_sec,
+            record.sources,
+            record.events,
+            record.wall_seconds,
+            record.threads
+        );
+        report.record_mux_throughput(record);
     }
     println!();
 

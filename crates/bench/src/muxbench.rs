@@ -1,0 +1,208 @@
+//! Multiplexer-sweep throughput: breakpoint events per second through
+//! the streaming k-way-merge engine ([`smooth_netsim::RateSweep`]),
+//! against the frozen quadratic oracle (`smooth_netsim::mux::reference`)
+//! where the latter is still affordable.
+//!
+//! Two source families, each swept over a scale ladder:
+//!
+//! * `synthetic` — bursty piecewise-constant sources with
+//!   [`SYNTHETIC_BREAKS`] breakpoints each (mean ~2 Mbps), at
+//!   S ∈ {16, 256, 1 000, 10 000};
+//! * `driving1` — the X-mux experiment's trace-derived ensemble
+//!   (seed variants of Driving1, phase-staggered and cyclically
+//!   wrapped), at S ∈ {16, 256}.
+//!
+//! Each measurement is a min-of-[`crate::throughput::MEASURE_REPEATS`]
+//! wall time; the reference is timed only up to [`REFERENCE_CEILING`]
+//! sources — it is O(S²·B·log B), so at 10k sources it would run for
+//! hours while the streaming engine finishes in milliseconds. Records
+//! land in `BENCH_sweep.json` as `mux_throughput[]`.
+
+use smooth_core::RateSegment;
+use smooth_metrics::StepFunction;
+use smooth_netsim::{mux, FluidMux, MultiplexConfig, RateSweep, SourceMode};
+use smooth_rng::Rng;
+use smooth_sweep::bench::MuxThroughputRecord;
+use smooth_trace::SequenceId;
+
+use crate::throughput::best_of;
+
+/// Breakpoints per synthetic source.
+pub const SYNTHETIC_BREAKS: usize = 64;
+
+/// Largest source count at which the quadratic reference is timed; past
+/// this it would dominate the whole suite's wall time.
+pub const REFERENCE_CEILING: usize = 1_000;
+
+/// The standard scale ladder for the synthetic family.
+pub const STANDARD_SOURCES: [usize; 4] = [16, 256, 1_000, 10_000];
+
+/// The scale ladder for the trace-derived family (each point pays for
+/// `S` full smoothing-pipeline runs up front, so it stays modest).
+pub const DRIVING1_SOURCES: [usize; 2] = [16, 256];
+
+/// One bursty synthetic source: [`SYNTHETIC_BREAKS`] pieces with random
+/// durations in [20 ms, 200 ms] and rates uniform in [0, 4 Mbps].
+fn synthetic_source(seed: u64) -> StepFunction {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut segs = Vec::with_capacity(SYNTHETIC_BREAKS);
+    let mut t = 0.0;
+    for _ in 0..SYNTHETIC_BREAKS {
+        let dur = rng.range_f64(0.02, 0.2);
+        segs.push(RateSegment {
+            start: t,
+            end: t + dur,
+            rate: rng.range_f64(0.0, 4.0e6),
+        });
+        t += dur;
+    }
+    StepFunction::from_segments(&segs)
+}
+
+/// A deterministic ensemble of `sources` synthetic sources.
+pub fn synthetic_ensemble(sources: usize) -> Vec<StepFunction> {
+    (0..sources)
+        .map(|s| synthetic_source(0xbe7c ^ s as u64))
+        .collect()
+}
+
+/// The sweep's `T`: total breakpoints across the ensemble.
+fn total_events(inputs: &[StepFunction]) -> u64 {
+    inputs.iter().map(|f| f.breakpoints().len() as u64).sum()
+}
+
+fn measure(
+    name: &str,
+    inputs: &[StepFunction],
+    t_end: f64,
+    capacity_bps: f64,
+    buffer_bits: f64,
+    threads: usize,
+) -> MuxThroughputRecord {
+    let sweep = RateSweep {
+        capacity_bps,
+        buffer_bits,
+    };
+    let dt = best_of(|| sweep.run_threaded(inputs, 0.0, t_end, threads));
+    let reference_seconds = (inputs.len() <= REFERENCE_CEILING).then(|| {
+        let fluid = FluidMux {
+            capacity_bps,
+            buffer_bits,
+        };
+        best_of(|| mux::reference::run(&fluid, inputs, 0.0, t_end))
+    });
+    MuxThroughputRecord::new(
+        name,
+        inputs.len(),
+        total_events(inputs),
+        dt,
+        reference_seconds,
+        threads,
+    )
+}
+
+/// Times the synthetic family at `sources`, capacity and buffer scaled
+/// linearly with the ensemble (~0.85 nominal load, ~2 kbit buffer per
+/// source) so every ladder point stresses the same regime.
+pub fn measure_synthetic(sources: usize, threads: usize) -> MuxThroughputRecord {
+    let inputs = synthetic_ensemble(sources);
+    let horizon = inputs.iter().map(|f| f.domain_end()).fold(0.0, f64::max);
+    measure(
+        &format!("mux_synthetic_S{sources}"),
+        &inputs,
+        horizon,
+        2.35e6 * sources as f64,
+        2.0e3 * sources as f64,
+        threads,
+    )
+}
+
+/// Times the X-mux trace-derived family at `sources`: seed variants of
+/// Driving1, phase-staggered and cyclically wrapped, with the X-mux
+/// experiment's per-source capacity (2.5 Mbps) and buffer (~31 kbit).
+pub fn measure_driving1(sources: usize, threads: usize) -> MuxThroughputRecord {
+    let cfg = MultiplexConfig {
+        sequence: SequenceId::Driving1,
+        pictures: 120,
+        sources,
+        mode: SourceMode::Unsmoothed,
+        capacity_bps: 2.5e6 * sources as f64,
+        buffer_bits: 31.25e3 * sources as f64,
+        seed: 2024,
+    };
+    let (inputs, _, period) = smooth_netsim::multiplex_inputs_threaded(&cfg, threads);
+    measure(
+        &format!("mux_driving1_S{sources}"),
+        &inputs,
+        period,
+        cfg.capacity_bps,
+        cfg.buffer_bits,
+        threads,
+    )
+}
+
+/// The records `BENCH_sweep.json` carries by default: the full synthetic
+/// ladder plus the trace-derived points.
+pub fn standard_mux_suite(threads: usize) -> Vec<MuxThroughputRecord> {
+    let mut out = Vec::new();
+    for &s in &STANDARD_SOURCES {
+        out.push(measure_synthetic(s, threads));
+    }
+    for &s in &DRIVING1_SOURCES {
+        out.push(measure_driving1(s, threads));
+    }
+    out
+}
+
+/// A single-point suite at an explicit source count (the `--sources N`
+/// scale knob): one synthetic and one trace-derived measurement.
+pub fn scaled_mux_suite(threads: usize, sources: usize) -> Vec<MuxThroughputRecord> {
+    vec![
+        measure_synthetic(sources, threads),
+        measure_driving1(sources, threads),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_ensemble_is_deterministic() {
+        let a = synthetic_ensemble(4);
+        let b = synthetic_ensemble(4);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        for f in &a {
+            assert_eq!(f.breakpoints().len(), SYNTHETIC_BREAKS + 1);
+        }
+    }
+
+    #[test]
+    fn small_synthetic_point_reports_reference_and_speedup() {
+        let rec = measure_synthetic(16, 1);
+        assert_eq!(rec.sources, 16);
+        assert_eq!(rec.events, 16 * (SYNTHETIC_BREAKS as u64 + 1));
+        assert!(rec.events_per_sec > 0.0);
+        assert!(rec.reference_seconds.is_some());
+        assert!(rec.speedup.is_some());
+    }
+
+    #[test]
+    fn above_the_ceiling_no_reference_is_timed() {
+        // 1 001 sources: just over the ceiling, cheap for the streaming
+        // engine, and the quadratic oracle must not be touched.
+        let rec = measure_synthetic(REFERENCE_CEILING + 1, 1);
+        assert_eq!(rec.reference_seconds, None);
+        assert_eq!(rec.speedup, None);
+        assert!(rec.events_per_sec > 0.0);
+    }
+
+    #[test]
+    fn driving1_point_measures_the_xmux_ensemble() {
+        let rec = measure_driving1(4, 1);
+        assert_eq!(rec.sources, 4);
+        assert!(rec.events > 0);
+        assert!(rec.reference_seconds.is_some());
+    }
+}

@@ -69,7 +69,7 @@ pub const MEASURE_REPEATS: usize = 5;
 
 /// Runs `work` [`MEASURE_REPEATS`] times and returns the fastest wall
 /// time in seconds.
-fn best_of<R>(mut work: impl FnMut() -> R) -> f64 {
+pub(crate) fn best_of<R>(mut work: impl FnMut() -> R) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..MEASURE_REPEATS {
         let t0 = Instant::now();

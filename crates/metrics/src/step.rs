@@ -96,19 +96,30 @@ impl StepFunction {
     }
 
     /// Value at time `t` (0 outside the domain).
+    ///
+    /// Well-defined even when `breaks` contains duplicates (zero-length
+    /// pieces): the piece *after* the last break `<= t` applies, matching
+    /// the right-open convention.
     pub fn value_at(&self, t: f64) -> f64 {
-        if t < self.breaks[0] || t >= self.domain_end() {
-            return 0.0;
+        // Number of breaks <= t; the piece in effect is the one starting
+        // at the last of them.
+        let idx = self.breaks.partition_point(|&b| b <= t);
+        if idx == 0 || idx > self.values.len() {
+            0.0
+        } else {
+            self.values[idx - 1]
         }
-        // Last break <= t.
-        let idx = match self
-            .breaks
-            .binary_search_by(|b| b.partial_cmp(&t).expect("finite"))
-        {
-            Ok(i) => i,
-            Err(i) => i - 1,
-        };
-        self.values.get(idx).copied().unwrap_or(0.0)
+    }
+
+    /// A forward-only cursor positioned at time `t` — the O(1)-advance
+    /// access path for k-way merges over many step functions (one
+    /// `partition_point` to seat it, then each [`StepCursor::advance_past`]
+    /// is amortized O(1) instead of a fresh binary search per lookup).
+    pub fn cursor_at(&self, t: f64) -> StepCursor<'_> {
+        StepCursor {
+            f: self,
+            idx: self.breaks.partition_point(|&b| b <= t),
+        }
     }
 
     /// Exact integral over `[a, b]`.
@@ -233,6 +244,52 @@ impl StepFunction {
             }
         }
         total
+    }
+}
+
+/// A forward-only position inside a [`StepFunction`].
+///
+/// The cursor tracks "how many breaks are `<= t`" for a monotonically
+/// advancing time `t`, giving the value in effect and the next breakpoint
+/// without re-searching. Invariant: [`StepCursor::value`] equals
+/// [`StepFunction::value_at`] at the cursor's time — bit-for-bit — which
+/// is what lets a streaming sweep replace per-interval `value_at` sampling
+/// while remaining exactly equal to it.
+#[derive(Debug, Clone, Copy)]
+pub struct StepCursor<'a> {
+    f: &'a StepFunction,
+    /// Number of breaks `<= t` for the cursor's time `t`;
+    /// `0 ..= breaks.len()`.
+    idx: usize,
+}
+
+impl<'a> StepCursor<'a> {
+    /// Value of the function at the cursor's current time (0 outside the
+    /// domain).
+    pub fn value(&self) -> f64 {
+        if self.idx == 0 || self.idx > self.f.values.len() {
+            0.0
+        } else {
+            self.f.values[self.idx - 1]
+        }
+    }
+
+    /// The next breakpoint strictly after the cursor's time, if any.
+    /// Duplicate breaks collapse: each distinct time is reported once.
+    pub fn next_break(&self) -> Option<f64> {
+        self.f.breaks.get(self.idx).copied()
+    }
+
+    /// Advances the cursor past every break `<= t`. Amortized O(1) over a
+    /// forward scan (each break is stepped over once).
+    pub fn advance_past(&mut self, t: f64) {
+        while let Some(&b) = self.f.breaks.get(self.idx) {
+            if b <= t {
+                self.idx += 1;
+            } else {
+                break;
+            }
+        }
     }
 }
 
@@ -362,6 +419,58 @@ mod tests {
         let g = StepFunction::new(vec![2.0, 3.0], vec![7.0]);
         let total = f.integrate_with(&g, 0.0, 3.0, |a, b| a + b);
         assert!((total - (4.0 + 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn value_at_is_well_defined_on_duplicate_breaks() {
+        // Zero-length piece [1,1): the piece after the *last* break <= t
+        // applies, so t = 1 must read the [1,2) value, never the empty
+        // piece's.
+        let f = StepFunction::new(vec![0.0, 1.0, 1.0, 2.0], vec![3.0, 9.0, 7.0]);
+        assert_eq!(f.value_at(0.5), 3.0);
+        assert_eq!(f.value_at(1.0), 7.0);
+        assert_eq!(f.value_at(1.5), 7.0);
+        assert_eq!(f.value_at(2.0), 0.0);
+    }
+
+    #[test]
+    fn cursor_matches_value_at_everywhere() {
+        let f = StepFunction::new(vec![0.0, 1.0, 1.0, 3.0, 4.0], vec![2.0, 8.0, 5.0, 1.0]);
+        let mut cursor = f.cursor_at(-2.0);
+        assert_eq!(cursor.value(), 0.0);
+        assert_eq!(cursor.next_break(), Some(0.0));
+        for t in [-1.0, 0.0, 0.5, 1.0, 2.0, 3.0, 3.5, 4.0, 9.0] {
+            cursor.advance_past(t);
+            assert_eq!(cursor.value(), f.value_at(t), "t={t}");
+        }
+        assert_eq!(cursor.next_break(), None);
+    }
+
+    #[test]
+    fn cursor_reports_each_distinct_break_once() {
+        let f = StepFunction::new(vec![0.0, 1.0, 1.0, 2.0], vec![3.0, 9.0, 7.0]);
+        let mut cursor = f.cursor_at(0.0);
+        let mut seen = Vec::new();
+        while let Some(b) = cursor.next_break() {
+            seen.push(b);
+            cursor.advance_past(b);
+        }
+        assert_eq!(seen, vec![1.0, 2.0], "duplicate break collapses");
+    }
+
+    #[test]
+    fn cursor_seated_mid_domain() {
+        let f = step();
+        let c = f.cursor_at(2.0);
+        assert_eq!(c.value(), 5.0);
+        assert_eq!(c.next_break(), Some(3.0));
+        // Seating exactly on a break lands on the piece it opens.
+        let c = f.cursor_at(3.0);
+        assert_eq!(c.value(), 1.0);
+        assert_eq!(c.next_break(), Some(4.0));
+        let c = f.cursor_at(4.0);
+        assert_eq!(c.value(), 0.0);
+        assert_eq!(c.next_break(), None);
     }
 
     #[test]

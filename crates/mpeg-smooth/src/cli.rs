@@ -9,7 +9,8 @@
 //!                      [--policy basic|moving-average] \
 //!                      [--schedule out.csv] [--segments out.csv] [--json out.json]
 //! mpeg-smooth sweep    --trace trace.csv --d 0.1,0.2,0.3 [--k 1,3] [--h 9,18] \
-//!                      [--threads N] [--csv out.csv]
+//!                      [--threads N] [--csv out.csv] \
+//!                      [--sources N] [--capacity-mbps C] [--buffer-kbit B] [--mux-seed S]
 //! mpeg-smooth verify   --trace trace.csv --d 0.2 --k 1 --h 9
 //! ```
 //!
@@ -107,6 +108,7 @@ usage:
                        [--schedule <out.csv>] [--segments <out.csv>] [--json <out.json>]
   mpeg-smooth sweep    --trace <trace.csv> --d <d1,d2,...> [--k <k1,k2,...>]
                        [--h <h1,h2,...>] [--threads N] [--csv <out.csv>]
+                       [--sources N] [--capacity-mbps C] [--buffer-kbit B] [--mux-seed S]
   mpeg-smooth verify   --trace <trace.csv> --d <seconds> [--k K] [--h H]
   mpeg-smooth help
 ";
@@ -355,7 +357,19 @@ fn cmd_sweep(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
     let hs = take_list::<usize>(&mut opts, "h")?.unwrap_or_else(|| vec![trace.pattern.n()]);
     let threads = smooth_sweep::resolve_threads(opts.take_parsed::<usize>("threads")?);
     let csv_path = opts.take("csv");
+    let sources = opts.take_parsed::<usize>("sources")?;
+    let capacity_mbps = opts.take_parsed::<f64>("capacity-mbps")?;
+    let buffer_kbit = opts.take_parsed::<f64>("buffer-kbit")?;
+    let mux_seed = opts.take_parsed::<u64>("mux-seed")?.unwrap_or(42);
     opts.finish()?;
+    if sources.is_none() && (capacity_mbps.is_some() || buffer_kbit.is_some()) {
+        return Err(err(
+            "--capacity-mbps/--buffer-kbit only apply with --sources",
+        ));
+    }
+    if sources == Some(0) {
+        return Err(err("--sources: must be at least 1"));
+    }
 
     // Cross product d × k × h; infeasible combinations (slack below
     // (K+1)τ) are skipped, not fatal — a sweep mixes K values on purpose.
@@ -437,6 +451,83 @@ fn cmd_sweep(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
     if let Some(p) = csv_path {
         std::fs::write(&p, csv).map_err(|e| err(format!("writing {p}: {e}")))?;
         let _ = writeln!(out, "sweep -> {p}");
+    }
+
+    // The mux-scale knob: feed each smoothed schedule to a finite-buffer
+    // switch as `--sources` phase-staggered looping copies, through the
+    // streaming k-way-merge engine. Stats are bit-identical for every
+    // thread count (the engine's sharded reduction is deterministic), so
+    // only the events/s line carries "thread(s)" for the invariance
+    // tests to strip.
+    if let Some(n) = sources {
+        use smooth_metrics::rate_function;
+        use smooth_netsim::{cyclic_wrap, RateSweep};
+        use smooth_rng::Rng;
+
+        let period = trace.duration();
+        let capacity_bps = capacity_mbps
+            .map(|c| c * 1e6)
+            .unwrap_or_else(|| 1.1 * trace.mean_rate_bps() * n as f64);
+        let buffer_bits = buffer_kbit.unwrap_or(100.0) * 1e3;
+        if capacity_bps <= 0.0 {
+            return Err(err("--capacity-mbps: must be positive"));
+        }
+        if buffer_bits < 0.0 {
+            return Err(err("--buffer-kbit: must be non-negative"));
+        }
+        let _ = writeln!(
+            out,
+            "mux: {n} phase-staggered copies per config, capacity {:.2} Mbps, buffer {:.0} kbit",
+            capacity_bps / 1e6,
+            buffer_bits / 1e3
+        );
+        let header = [
+            "D (s)",
+            "K",
+            "H",
+            "loss ratio",
+            "utilization",
+            "max queue kbit",
+        ];
+        let _ = writeln!(out, "{}", header.join(","));
+        let engine = RateSweep {
+            capacity_bps,
+            buffer_bits,
+        };
+        let t0 = std::time::Instant::now();
+        let mut events = 0u64;
+        for (params, result) in grid.iter().zip(&results) {
+            let f = rate_function(result);
+            let mut rng = Rng::seed_from_u64(mux_seed);
+            let ensemble: Vec<smooth_metrics::StepFunction> = (0..n)
+                .map(|_| cyclic_wrap(&f, rng.range_f64(0.0, period), period))
+                .collect();
+            events += ensemble
+                .iter()
+                .map(|g| g.breakpoints().len() as u64)
+                .sum::<u64>();
+            let stats = engine.run_threaded(&ensemble, 0.0, period, threads);
+            let _ = writeln!(
+                out,
+                "{:.4},{},{},{:.6},{:.4},{:.1}",
+                params.delay_bound,
+                params.k,
+                params.h,
+                stats.loss_ratio(),
+                stats.utilization,
+                stats.max_queue_bits / 1e3
+            );
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        let eps = if wall > 0.0 {
+            events as f64 / wall
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "mux: {events} events on {threads} thread(s), {eps:.0} events/s"
+        );
     }
     Ok(0)
 }
@@ -719,6 +810,112 @@ mod tests {
                     .join("\n")
             };
             assert_eq!(strip(&serial), strip(&parallel), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sweep_sources_knob_reports_mux_loss() {
+        let trace_path = tmp("sweep_mux.csv");
+        run_cli(&[
+            "generate",
+            "--sequence",
+            "driving1",
+            "--pictures",
+            "90",
+            "--out",
+            &trace_path,
+        ]);
+        let (code, text) = run_cli(&[
+            "sweep",
+            "--trace",
+            &trace_path,
+            "--d",
+            "0.1,0.3",
+            "--sources",
+            "12",
+            "--buffer-kbit",
+            "50",
+        ]);
+        assert_eq!(code, 0, "{text}");
+        assert!(
+            text.contains("12 phase-staggered copies"),
+            "missing mux header: {text}"
+        );
+        assert!(text.contains("loss ratio,utilization"), "{text}");
+        assert!(text.contains("events/s"), "{text}");
+        // The looser delay bound smooths harder, so the mux block must
+        // produce one row per feasible config.
+        let mux_rows = text
+            .lines()
+            .skip_while(|l| !l.contains("phase-staggered"))
+            .filter(|l| l.starts_with("0.1") || l.starts_with("0.3"))
+            .count();
+        assert_eq!(mux_rows, 2, "{text}");
+    }
+
+    #[test]
+    fn sweep_sources_output_is_thread_count_invariant() {
+        let trace_path = tmp("sweep_mux_det.csv");
+        run_cli(&[
+            "generate",
+            "--sequence",
+            "tennis",
+            "--pictures",
+            "90",
+            "--out",
+            &trace_path,
+        ]);
+        let base = [
+            "sweep",
+            "--trace",
+            &trace_path,
+            "--d",
+            "0.2",
+            "--sources",
+            "150",
+        ];
+        let run_with = |threads: &str| {
+            let mut args: Vec<&str> = base.to_vec();
+            args.extend(["--threads", threads]);
+            run_cli(&args)
+        };
+        let (code, serial) = run_with("1");
+        assert_eq!(code, 0);
+        for threads in ["3", "8"] {
+            let (code, parallel) = run_with(threads);
+            assert_eq!(code, 0);
+            let strip = |s: &str| {
+                s.lines()
+                    .filter(|l| !l.contains("thread(s)"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            assert_eq!(strip(&serial), strip(&parallel), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sweep_mux_options_require_sources() {
+        let trace_path = tmp("sweep_mux_req.csv");
+        run_cli(&[
+            "generate",
+            "--sequence",
+            "driving1",
+            "--pictures",
+            "48",
+            "--out",
+            &trace_path,
+        ]);
+        for extra in [
+            vec!["--capacity-mbps", "20"],
+            vec!["--buffer-kbit", "100"],
+            vec!["--sources", "0"],
+        ] {
+            let mut args = vec!["sweep", "--trace", &trace_path, "--d", "0.2"];
+            args.extend(extra.iter().copied());
+            let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            let mut out = Vec::new();
+            assert!(run(&args, &mut out).is_err(), "{args:?}");
         }
     }
 

@@ -8,7 +8,8 @@
 //! construction) feed one finite-buffer multiplexer, either raw or
 //! smoothed with the paper's algorithm, and we measure the loss ratio.
 
-use crate::mux::{FluidMux, FluidMuxStats};
+use crate::mux::FluidMuxStats;
+use crate::sweep::RateSweep;
 use serde::{Deserialize, Serialize};
 use smooth_core::{smooth, SmootherParams};
 use smooth_metrics::{baseline_rate_function, rate_function, StepFunction};
@@ -66,7 +67,7 @@ impl MultiplexOutcome {
 }
 
 /// Builds the rate function of one source under `mode`.
-fn source_rate_function(trace: &VideoTrace, mode: SourceMode) -> StepFunction {
+pub fn source_rate_function(trace: &VideoTrace, mode: SourceMode) -> StepFunction {
     match mode {
         SourceMode::Unsmoothed => baseline_rate_function(&smooth_core::unsmoothed(trace)),
         SourceMode::Smoothed { params } => rate_function(&smooth(trace, params)),
@@ -81,7 +82,7 @@ fn source_rate_function(trace: &VideoTrace, mode: SourceMode) -> StepFunction {
 /// *independent, stationary* VBR sources from one trace. (Without the
 /// wrap, every source's scene changes would line up in wall-clock time
 /// and the "statistical" in statistical multiplexing would be gone.)
-fn cyclic_wrap(f: &StepFunction, offset: f64, period: f64) -> StepFunction {
+pub fn cyclic_wrap(f: &StepFunction, offset: f64, period: f64) -> StepFunction {
     assert!(period > 0.0, "period must be positive");
     // Collect folded sub-pieces in [0, period).
     let mut folded: Vec<(f64, f64, f64)> = Vec::new();
@@ -144,6 +145,31 @@ pub fn run_multiplex(cfg: &MultiplexConfig) -> MultiplexOutcome {
 /// on the calling thread; only the per-source smoothing — the hot part —
 /// fans out, with results collected back in source order.
 pub fn run_multiplex_threaded(cfg: &MultiplexConfig, threads: usize) -> MultiplexOutcome {
+    let (inputs, offered_mean, period) = multiplex_inputs_threaded(cfg, threads);
+    let stats = RateSweep {
+        capacity_bps: cfg.capacity_bps,
+        buffer_bits: cfg.buffer_bits,
+    }
+    .run_threaded(&inputs, 0.0, period, threads);
+    MultiplexOutcome {
+        stats,
+        offered_mean_bps: offered_mean,
+        nominal_load: offered_mean / cfg.capacity_bps,
+    }
+}
+
+/// Builds the source-rate ensemble of a multiplexing run without running
+/// the multiplexer: `(inputs, offered_mean_bps, period)`.
+///
+/// Exposed so throughput benchmarks can prepare the same trace-derived
+/// ensemble once and feed it to both the streaming engine and the frozen
+/// `mux::reference` oracle. Bit-identical for every `threads` — all RNG
+/// draws stay in source order on the calling thread; only the per-source
+/// smoothing fans out.
+pub fn multiplex_inputs_threaded(
+    cfg: &MultiplexConfig,
+    threads: usize,
+) -> (Vec<StepFunction>, f64, f64) {
     let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut inputs = Vec::with_capacity(cfg.sources);
     let mut offered_mean = 0.0;
@@ -163,17 +189,7 @@ pub fn run_multiplex_threaded(cfg: &MultiplexConfig, threads: usize) -> Multiple
         let offset = rng.range_f64(0.0, period);
         inputs.push(cyclic_wrap(f, offset, period));
     }
-
-    let mux = FluidMux {
-        capacity_bps: cfg.capacity_bps,
-        buffer_bits: cfg.buffer_bits,
-    };
-    let stats = mux.run(&inputs, 0.0, period);
-    MultiplexOutcome {
-        stats,
-        offered_mean_bps: offered_mean,
-        nominal_load: offered_mean / cfg.capacity_bps,
-    }
+    (inputs, offered_mean, period)
 }
 
 /// Sweeps buffer sizes at a fixed capacity with the default worker count,

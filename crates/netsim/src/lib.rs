@@ -36,15 +36,17 @@ pub mod experiment;
 pub mod mux;
 pub mod packetizer;
 pub mod policer;
+pub mod sweep;
 pub mod transport;
 
 pub use experiment::{
-    buffer_sweep, buffer_sweep_threaded, run_multiplex, run_multiplex_threaded, MultiplexConfig,
-    MultiplexOutcome, SourceMode,
+    buffer_sweep, buffer_sweep_threaded, cyclic_wrap, multiplex_inputs_threaded, run_multiplex,
+    run_multiplex_threaded, source_rate_function, MultiplexConfig, MultiplexOutcome, SourceMode,
 };
 pub use mux::{CellMux, CellMuxStats, FluidMux, FluidMuxStats};
 pub use packetizer::{cell_times, merge_cell_streams, CELL_PAYLOAD_BITS, CELL_WIRE_BITS};
 pub use policer::{min_bucket_for, PoliceStats, TokenBucket};
+pub use sweep::{RateSweep, MUX_MAX_SHARDS};
 pub use transport::{
     lossy_session, packetize, reassemble, units_damaged, LossySessionReport, Packet,
 };

@@ -56,84 +56,92 @@ impl FluidMux {
     /// Runs the multiplexer over `[t_start, t_end]` with the given input
     /// rate functions, integrating the queue exactly between breakpoints.
     ///
+    /// Since the streaming port this delegates to the k-way-merge
+    /// [`crate::sweep::RateSweep`] engine — O(T·log S) in the total
+    /// breakpoint count T instead of the original O(S²·B·log B) — while
+    /// producing stats bit-identical to the frozen [`reference`] (the
+    /// `sweep_props` proptests pin this). A zero-length window yields
+    /// all-zero stats (utilization 0, not NaN).
+    ///
     /// # Panics
     ///
     /// Panics if capacity is non-positive or the buffer is negative.
     pub fn run(&self, inputs: &[StepFunction], t_start: f64, t_end: f64) -> FluidMuxStats {
-        assert!(self.capacity_bps > 0.0, "capacity must be positive");
-        assert!(self.buffer_bits >= 0.0, "buffer must be non-negative");
-
-        // Merge breakpoints of all inputs within the window.
-        let mut cuts: Vec<f64> = vec![t_start, t_end];
-        for f in inputs {
-            cuts.extend(
-                f.breakpoints()
-                    .iter()
-                    .copied()
-                    .filter(|&t| t > t_start && t < t_end),
-            );
+        crate::sweep::RateSweep {
+            capacity_bps: self.capacity_bps,
+            buffer_bits: self.buffer_bits,
         }
-        cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        .run(inputs, t_start, t_end)
+    }
+}
 
-        let mut q = 0.0f64; // queue occupancy in bits
-        let mut arrived = 0.0;
-        let mut lost = 0.0;
-        let mut served = 0.0;
-        let mut max_q = 0.0f64;
+/// The pre-streaming-port fluid multiplexer, retained as the test oracle
+/// (the same pattern as `smooth_core::reference`): materialize every
+/// breakpoint of every input into one sorted cut vector, then walk the
+/// intervals re-sampling **all** inputs per interval — O(S²·B·log B).
+/// Nothing in this module is called by production code paths; the
+/// `sweep_props` proptests and the `mux_throughput` benchmark pin
+/// [`crate::sweep::RateSweep`] against it.
+///
+/// Two conventions are shared with the streaming engine so that "equal"
+/// can mean *bit-identical* rather than within-tolerance (f64 addition is
+/// not associative, so the summation order is part of the spec):
+///
+/// * per-interval aggregation uses the canonical
+///   [`smooth_sweep::SumTree`] pairwise order (also the more accurate
+///   order — O(log S) rounding growth vs O(S) for a naive fold);
+/// * cuts are deduplicated **exactly** (`==`), not with the original
+///   absolute `1e-12` epsilon, which was scale-unsafe: near `t = 0` it
+///   collapsed distinct sub-epsilon breakpoints (vanishing bursts
+///   entirely), while for windows at large `t` (≈ 1e6 s, where one ulp
+///   is ≈ 1.2e-10) it could never fire at all, so its only effect was a
+///   scale-dependent change in integration results. Each interval then
+///   samples at its *left endpoint* — exact for right-open step
+///   functions, where midpoint sampling could land on the wrong side of
+///   a sub-ulp interval.
+pub mod reference {
+    use super::{FluidMux, FluidMuxStats};
+    use crate::sweep::QueueState;
+    use smooth_metrics::StepFunction;
+    use smooth_sweep::SumTree;
 
-        for w in cuts.windows(2) {
-            let (a, b) = (w[0], w[1]);
-            let mut dt = b - a;
-            if dt <= 0.0 {
-                continue;
+    /// The original materialize-then-resample run loop. Quadratic in the
+    /// source count; exact; the oracle for [`crate::sweep::RateSweep`].
+    pub fn run(mux: &FluidMux, inputs: &[StepFunction], t_start: f64, t_end: f64) -> FluidMuxStats {
+        assert!(mux.capacity_bps > 0.0, "capacity must be positive");
+        assert!(mux.buffer_bits >= 0.0, "buffer must be non-negative");
+
+        let mut state = QueueState::new();
+        if t_end > t_start {
+            // Merge breakpoints of all inputs within the window.
+            let mut cuts: Vec<f64> = vec![t_start, t_end];
+            for f in inputs {
+                cuts.extend(
+                    f.breakpoints()
+                        .iter()
+                        .copied()
+                        .filter(|&t| t > t_start && t < t_end),
+                );
             }
-            let mid = 0.5 * (a + b);
-            let agg: f64 = inputs.iter().map(|f| f.value_at(mid)).sum();
-            arrived += agg * dt;
-            let net = agg - self.capacity_bps;
+            cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            cuts.dedup();
 
-            if net > 0.0 {
-                // Queue filling: possibly hit the buffer ceiling mid-interval.
-                let to_full = (self.buffer_bits - q) / net;
-                if to_full < dt {
-                    // Fill phase: everything served at capacity.
-                    served += self.capacity_bps * to_full;
-                    q = self.buffer_bits;
-                    dt -= to_full;
-                    // Overflow phase: excess is dropped.
-                    lost += net * dt;
-                    served += self.capacity_bps * dt;
-                } else {
-                    served += self.capacity_bps * dt;
-                    q += net * dt;
+            let mut values = vec![0.0f64; inputs.len()];
+            for w in cuts.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                if b <= a {
+                    continue;
                 }
-            } else {
-                // Queue draining: possibly empty mid-interval.
-                let to_empty = if net < 0.0 { q / (-net) } else { f64::INFINITY };
-                if to_empty < dt {
-                    // Drain phase: output at full capacity until empty.
-                    served += self.capacity_bps * to_empty;
-                    q = 0.0;
-                    dt -= to_empty;
-                    // Starved phase: output equals input (< capacity).
-                    served += agg * dt;
-                } else {
-                    served += self.capacity_bps * dt;
-                    q += net * dt;
+                // The value on [a, b) is the value at the left endpoint:
+                // no input has a breakpoint strictly inside the interval.
+                for (slot, f) in values.iter_mut().zip(inputs) {
+                    *slot = f.value_at(a);
                 }
+                let agg = SumTree::sum_of(&values);
+                state.advance(agg, b - a, mux.capacity_bps, mux.buffer_bits);
             }
-            max_q = max_q.max(q);
         }
-
-        FluidMuxStats {
-            arrived_bits: arrived,
-            lost_bits: lost,
-            served_bits: served,
-            final_queue_bits: q,
-            max_queue_bits: max_q,
-            utilization: served / (self.capacity_bps * (t_end - t_start)),
-        }
+        state.into_stats(mux.capacity_bps, t_start, t_end)
     }
 }
 

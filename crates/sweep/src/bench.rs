@@ -74,6 +74,66 @@ impl ThroughputRecord {
     }
 }
 
+/// One multiplexer-throughput measurement: how fast a named source
+/// ensemble sweeps through the mux layer, and how the streaming engine
+/// compares to the frozen quadratic `mux::reference` when the latter was
+/// cheap enough to time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MuxThroughputRecord {
+    /// Configuration label, e.g. `mux_synthetic_S1000`.
+    pub name: String,
+    /// Sources feeding the multiplexer.
+    pub sources: usize,
+    /// Total rate-function breakpoints processed (the sweep's `T`).
+    pub events: u64,
+    /// Streaming-engine wall seconds (min over repeats).
+    pub wall_seconds: f64,
+    /// `events / wall_seconds`.
+    pub events_per_sec: f64,
+    /// Frozen `mux::reference` wall seconds (min over repeats), when the
+    /// quadratic oracle was affordable at this scale.
+    #[serde(default)]
+    pub reference_seconds: Option<f64>,
+    /// `reference_seconds / wall_seconds`, when both were measured.
+    #[serde(default)]
+    pub speedup: Option<f64>,
+    /// Worker threads the engine measurement used.
+    pub threads: usize,
+}
+
+impl MuxThroughputRecord {
+    /// Builds a record from raw measurements, deriving the rates.
+    pub fn new(
+        name: &str,
+        sources: usize,
+        events: u64,
+        wall_seconds: f64,
+        reference_seconds: Option<f64>,
+        threads: usize,
+    ) -> Self {
+        MuxThroughputRecord {
+            name: name.to_string(),
+            sources,
+            events,
+            wall_seconds,
+            events_per_sec: if wall_seconds > 0.0 {
+                events as f64 / wall_seconds
+            } else {
+                0.0
+            },
+            reference_seconds,
+            speedup: reference_seconds.map(|r| {
+                if wall_seconds > 0.0 {
+                    r / wall_seconds
+                } else {
+                    0.0
+                }
+            }),
+            threads,
+        }
+    }
+}
+
 /// The on-disk `BENCH_sweep.json` document.
 ///
 /// Fields added after the first release carry `#[serde(default)]` so old
@@ -95,6 +155,11 @@ pub struct SweepBenchReport {
     /// Hot-path throughput measurements (see [`ThroughputRecord`]).
     #[serde(default)]
     pub throughput: Vec<ThroughputRecord>,
+    /// Multiplexer-sweep throughput measurements (see
+    /// [`MuxThroughputRecord`]); shares the report-level provenance
+    /// fields (`git_commit`, `thread_source`, `available_cores`).
+    #[serde(default)]
+    pub mux_throughput: Vec<MuxThroughputRecord>,
     pub total_seconds: f64,
 }
 
@@ -115,6 +180,7 @@ impl SweepBenchReport {
             git_commit: current_git_commit().unwrap_or_default(),
             figures: Vec::new(),
             throughput: Vec::new(),
+            mux_throughput: Vec::new(),
             total_seconds: 0.0,
         }
     }
@@ -122,6 +188,11 @@ impl SweepBenchReport {
     /// Appends a throughput measurement.
     pub fn record_throughput(&mut self, record: ThroughputRecord) {
         self.throughput.push(record);
+    }
+
+    /// Appends a multiplexer-throughput measurement.
+    pub fn record_mux_throughput(&mut self, record: MuxThroughputRecord) {
+        self.mux_throughput.push(record);
     }
 
     /// Times `f`, records it under `name`, and returns its output.
@@ -190,6 +261,14 @@ mod tests {
         report.time("fig8", || ());
         report.set_serial_baseline("fig7", 2.0);
         report.record_throughput(ThroughputRecord::new("hotpath", 1_000_000, 0.5, 1));
+        report.record_mux_throughput(MuxThroughputRecord::new(
+            "mux_synthetic_S1000",
+            1000,
+            64_000,
+            0.004,
+            Some(1.2),
+            1,
+        ));
         assert_eq!(report.figures.len(), 2);
         assert!(report.total_seconds >= 0.0);
         assert_eq!(report.thread_source, "env");
@@ -201,6 +280,19 @@ mod tests {
         assert!(back.figures[1].serial_seconds.is_none());
         assert_eq!(back.throughput.len(), 1);
         assert!((back.throughput[0].pictures_per_sec - 2_000_000.0).abs() < 1e-6);
+        assert_eq!(back.mux_throughput.len(), 1);
+        let mux = &back.mux_throughput[0];
+        assert_eq!(mux.sources, 1000);
+        assert!((mux.events_per_sec - 16_000_000.0).abs() < 1e-3);
+        assert!((mux.speedup.unwrap() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mux_record_without_reference_has_no_speedup() {
+        let r = MuxThroughputRecord::new("mux_synthetic_S10000", 10_000, 640_000, 0.05, None, 1);
+        assert_eq!(r.reference_seconds, None);
+        assert_eq!(r.speedup, None);
+        assert!((r.events_per_sec - 12_800_000.0).abs() < 1e-3);
     }
 
     #[test]
@@ -220,6 +312,7 @@ mod tests {
         assert_eq!(report.thread_source, "");
         assert_eq!(report.git_commit, "");
         assert!(report.throughput.is_empty());
+        assert!(report.mux_throughput.is_empty());
     }
 
     #[test]

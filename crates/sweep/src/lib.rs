@@ -31,6 +31,9 @@ use smooth_core::{
 use smooth_trace::VideoTrace;
 
 pub mod bench;
+pub mod reduce;
+
+pub use reduce::{ShardPlan, SumTree};
 
 /// Process-wide thread-count override; 0 means unset.
 static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
