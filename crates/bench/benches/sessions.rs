@@ -1,0 +1,57 @@
+//! Session-engine throughput: aggregate picture decisions per second
+//! when a fleet of concurrent live sessions advances in lockstep ticks.
+//!
+//! The fleet is rebuilt per iteration (an engine is consumed by
+//! `finish`), so the timed region includes construction — a small,
+//! ladder-constant fraction of the tick work. The `Throughput::Elements`
+//! line reports decisions/second, comparable across the session ladder.
+//! The construction-excluded 1M point lives in the experiments binary's
+//! `session_throughput[]` records instead — one Criterion sample at that
+//! scale would take minutes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smooth_bench::sessionbench::{session_class, SESSION_TICKS};
+use smooth_engine::{SessionEngine, SyntheticFleet};
+
+fn session_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sessions");
+    group.sample_size(10);
+
+    let class = session_class();
+    let pattern = class.pattern;
+    let fleet = SyntheticFleet {
+        seed: 0x5e55be7c,
+        pattern,
+    };
+
+    for sessions in [1_000usize, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(sessions as u64 * SESSION_TICKS));
+        // The lockstep tick loop (what the mux adapter drives): one
+        // sweep over fleet state per tick.
+        group.bench_function(BenchmarkId::new("lockstep", sessions), |b| {
+            b.iter(|| {
+                let mut engine = SessionEngine::new(vec![class.clone()]);
+                engine.add_sessions(0, sessions);
+                for _ in 0..SESSION_TICKS {
+                    engine.tick(&fleet, 1);
+                }
+                engine.finish(&fleet, 1);
+                engine.decisions()
+            })
+        });
+        // The session-major batched driver (what the experiments binary
+        // gates): bit-identical, one sweep per batch.
+        group.bench_function(BenchmarkId::new("batched", sessions), |b| {
+            b.iter(|| {
+                let mut engine = SessionEngine::new(vec![class.clone()]);
+                engine.add_sessions(0, sessions);
+                engine.run(&fleet, SESSION_TICKS, true, 1);
+                engine.decisions()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, session_throughput);
+criterion_main!(benches);

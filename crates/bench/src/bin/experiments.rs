@@ -2,7 +2,7 @@
 //!
 //! ```sh
 //! experiments [names...] [--csv-dir DIR] [--series] [--threads N]
-//!             [--bench-json PATH] [--sources N]
+//!             [--bench-json PATH] [--sources N] [--sessions N]
 //! ```
 //!
 //! With no names, runs everything. Series tables (thousands of rows,
@@ -19,12 +19,16 @@
 //! trace at H = 32, plus a parallel batch over the same workload) and
 //! multiplexer-sweep throughput (events/sec for the streaming k-way-merge
 //! engine vs the frozen quadratic `mux::reference`, over a source-count
-//! ladder up to 10k — or at exactly `--sources N` when given).
+//! ladder up to 10k — or at exactly `--sources N` when given) and
+//! session-engine throughput (aggregate decisions/sec for a fleet of
+//! concurrent live sessions, over a session ladder up to 1M — or at
+//! exactly `--sessions N` when given).
 
 use std::time::Instant;
 
 use smooth_bench::experiments;
 use smooth_bench::muxbench;
+use smooth_bench::sessionbench;
 use smooth_bench::throughput;
 use smooth_sweep::bench::SweepBenchReport;
 
@@ -36,6 +40,7 @@ fn main() {
     let mut print_series = false;
     let mut threads_opt: Option<usize> = None;
     let mut sources_opt: Option<usize> = None;
+    let mut sessions_opt: Option<usize> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -71,11 +76,21 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--sessions" => {
+                let v = it.next().unwrap_or_else(|| {
+                    eprintln!("--sessions requires a value");
+                    std::process::exit(2);
+                });
+                sessions_opt = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--sessions: cannot parse {v:?}");
+                    std::process::exit(2);
+                }));
+            }
             "--series" => print_series = true,
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [names...] [--csv-dir DIR] [--series] \
-                     [--threads N] [--bench-json PATH] [--sources N]"
+                     [--threads N] [--bench-json PATH] [--sources N] [--sessions N]"
                 );
                 println!(
                     "names: {}",
@@ -202,6 +217,28 @@ fn main() {
             record.threads
         );
         report.record_mux_throughput(record);
+    }
+    println!();
+
+    // Session-engine throughput: the acceptance gauge for the
+    // million-session fleet engine (see crates/bench/src/sessionbench.rs).
+    println!("==================== session throughput ====================");
+    let session_records = match sessions_opt {
+        Some(sessions) => sessionbench::scaled_session_suite(threads, sessions),
+        None => sessionbench::standard_session_suite(threads),
+    };
+    for record in session_records {
+        println!(
+            "{}: {:.0} decisions/s ({} sessions, {} ticks, {} decisions, {:.3}s, {} thread(s))",
+            record.name,
+            record.decisions_per_second,
+            record.sessions,
+            record.ticks,
+            record.decisions,
+            record.wall_seconds,
+            record.threads
+        );
+        report.record_session_throughput(record);
     }
     println!();
 

@@ -1,0 +1,117 @@
+//! Session-engine throughput: aggregate picture decisions per second
+//! across a fleet of concurrent live sessions
+//! ([`smooth_engine::SessionEngine`]).
+//!
+//! The ROADMAP's production framing is one process smoothing *many*
+//! streams at once, so the number that matters here is not per-picture
+//! cost on one long trace (that is `throughput.rs`) but fleet-aggregate
+//! decisions/second when a megasession ensemble advances in lockstep
+//! ticks. The paper-recommended class (`D = 0.2 s`, `K = 1`, `H = 9`,
+//! pattern (3, 9)) is swept over a session ladder up to 1 000 000.
+//!
+//! Each measurement builds a fresh fleet per repeat (the engine is
+//! consumed by `finish`), times **only** the decision phase — the
+//! session-major batched [`SessionEngine::run`], bit-identical to the
+//! lockstep tick loop but streaming fleet state from memory once per
+//! batch instead of once per tick — and keeps the min over
+//! [`crate::throughput::MEASURE_REPEATS`] runs. Records land in
+//! `BENCH_sweep.json` as `session_throughput[]`.
+
+use std::time::Instant;
+
+use smooth_core::SmootherParams;
+use smooth_engine::{SessionClass, SessionEngine, SyntheticFleet};
+use smooth_mpeg::GopPattern;
+use smooth_sweep::bench::SessionThroughputRecord;
+
+use crate::throughput::MEASURE_REPEATS;
+
+/// Lockstep ticks (pictures per session) each measurement advances.
+pub const SESSION_TICKS: u64 = 32;
+
+/// The standard session ladder for `BENCH_sweep.json`.
+pub const STANDARD_SESSIONS: [usize; 3] = [10_000, 100_000, 1_000_000];
+
+/// The measured configuration class: the paper's recommended
+/// `D = 0.2 s`, `K = 1`, `H = 9` on the (3, 9) GOP pattern.
+pub fn session_class() -> SessionClass {
+    let pattern = GopPattern::new(3, 9).expect("(3,9) is valid");
+    SessionClass::new(
+        SmootherParams::at_30fps(0.2, 1, 9).expect("0.2 s is feasible"),
+        pattern,
+    )
+}
+
+/// Times a fleet of `sessions` concurrent sessions through `ticks`
+/// lockstep ticks plus the finishing drain, at `threads` workers.
+/// Fleet construction is excluded from the timed region; the clock
+/// covers exactly the decision work.
+pub fn measure_sessions(sessions: usize, ticks: u64, threads: usize) -> SessionThroughputRecord {
+    let class = session_class();
+    let pattern = class.pattern;
+    let fleet = SyntheticFleet {
+        seed: 0x5e55be7c,
+        pattern,
+    };
+    let mut best = f64::INFINITY;
+    let mut decisions = 0u64;
+    for _ in 0..MEASURE_REPEATS {
+        let mut engine = SessionEngine::new(vec![class.clone()]);
+        engine.add_sessions(0, sessions);
+        let t0 = Instant::now();
+        engine.run(&fleet, ticks, true, threads);
+        let dt = t0.elapsed().as_secs_f64();
+        std::hint::black_box(engine.digest());
+        decisions = engine.decisions();
+        if dt < best {
+            best = dt;
+        }
+    }
+    SessionThroughputRecord::new(
+        &format!("sessions_synthetic_S{sessions}"),
+        sessions,
+        ticks,
+        decisions,
+        best,
+        threads,
+    )
+}
+
+/// The records `BENCH_sweep.json` carries by default: the full session
+/// ladder at [`SESSION_TICKS`] ticks.
+pub fn standard_session_suite(threads: usize) -> Vec<SessionThroughputRecord> {
+    STANDARD_SESSIONS
+        .iter()
+        .map(|&s| measure_sessions(s, SESSION_TICKS, threads))
+        .collect()
+}
+
+/// A single-point suite at an explicit session count (the `--sessions N`
+/// scale knob).
+pub fn scaled_session_suite(threads: usize, sessions: usize) -> Vec<SessionThroughputRecord> {
+    vec![measure_sessions(sessions, SESSION_TICKS, threads)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_fleet_measures_all_decisions() {
+        let rec = measure_sessions(200, 8, 1);
+        assert_eq!(rec.sessions, 200);
+        assert_eq!(rec.ticks, 8);
+        assert_eq!(rec.decisions, 200 * 8);
+        assert!(rec.decisions_per_second > 0.0);
+        assert_eq!(rec.threads, 1);
+        assert_eq!(rec.name, "sessions_synthetic_S200");
+    }
+
+    #[test]
+    fn scaled_suite_is_one_point_at_the_requested_count() {
+        let recs = scaled_session_suite(1, 150);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].sessions, 150);
+        assert_eq!(recs[0].decisions, 150 * SESSION_TICKS);
+    }
+}

@@ -128,6 +128,28 @@ pub trait SizeEstimator {
     fn integral_estimates(&self) -> Option<f64> {
         None
     }
+
+    /// Opt-in contract for history compaction in long-lived live
+    /// sessions ([`crate::OnlineSmoother`] and the session engine).
+    ///
+    /// Returning `Some(w)` promises **shift invariance under pruning**:
+    /// for every shift `Δ` that is a multiple of the GOP period `N` with
+    /// `Δ + w ≤ arrived.len()`, and every `j ≥ arrived.len()`,
+    ///
+    /// ```text
+    /// estimate(j, arrived, pattern)
+    ///     == estimate(j − Δ, &arrived[Δ..], pattern)   // bit for bit
+    /// ```
+    ///
+    /// i.e. the estimate depends only on `j`'s GOP slot and the trailing
+    /// `w` arrived sizes, so a live session may drop its decided prefix
+    /// (in whole-pattern steps) and keep only the last `w` sizes plus the
+    /// undecided tail. The default `None` makes no such promise and
+    /// forces full history — always correct, unbounded memory.
+    fn history_window(&self, pattern: &GopPattern) -> Option<usize> {
+        let _ = pattern;
+        None
+    }
 }
 
 /// The paper's estimator: `S_j ≈ S_{j−N}` (same picture type one pattern
@@ -209,6 +231,16 @@ impl SizeEstimator for PatternEstimator {
         // integral.
         self.defaults.integral_bound()
     }
+
+    fn history_window(&self, pattern: &GopPattern) -> Option<usize> {
+        // For `j ≥ arrived.len()` the source index `cap − (cap − slot) % N`
+        // with `cap = (j − N).min(len − 1)` always lies in
+        // `[len − (2N − 1), len − 1]`: the most recent same-slot sample at
+        // least one whole pattern back. The last `2N` sizes therefore pin
+        // every reachable read, and a whole-pattern shift preserves slots,
+        // distances, and the walk-back arithmetic exactly.
+        Some(2 * pattern.n())
+    }
 }
 
 /// Always returns the per-type default — an ablation showing how much the
@@ -238,6 +270,12 @@ impl SizeEstimator for TypeDefaultEstimator {
 
     fn invalidation(&self) -> Invalidation {
         Invalidation::Never
+    }
+
+    fn history_window(&self, _pattern: &GopPattern) -> Option<usize> {
+        // Reads nothing from `arrived`, and `type_at(j − Δ) == type_at(j)`
+        // for any whole-pattern Δ.
+        Some(0)
     }
 }
 
@@ -342,6 +380,47 @@ mod tests {
         assert_eq!(est.estimate(2, &[], &pat9()), 33.0);
         // Past the end: type default.
         assert_eq!(est.estimate(9, &[], &pat9()), 200_000.0);
+    }
+
+    #[test]
+    fn history_window_shift_invariance() {
+        // The `history_window` contract, checked exhaustively on a small
+        // grid: for every whole-pattern shift Δ keeping ≥ w sizes, the
+        // shifted estimate is bit-identical.
+        let pat = pat9();
+        let n = pat.n();
+        let est = PatternEstimator::default();
+        let w = est.history_window(&pat).unwrap();
+        assert_eq!(w, 2 * n);
+        let arrived: Vec<u64> = (0..64).map(|i| 1_000 + 37 * i as u64).collect();
+        for len in 1..=arrived.len() {
+            let full = &arrived[..len];
+            for j in len..len + 3 * n {
+                let base = est.estimate(j, full, &pat);
+                let mut delta = n;
+                while delta + w <= len {
+                    let shifted = est.estimate(j - delta, &full[delta..], &pat);
+                    assert_eq!(
+                        base.to_bits(),
+                        shifted.to_bits(),
+                        "len={len} j={j} delta={delta}"
+                    );
+                    delta += n;
+                }
+            }
+        }
+
+        let td = TypeDefaultEstimator::default();
+        assert_eq!(td.history_window(&pat), Some(0));
+        for j in 10..40 {
+            assert_eq!(
+                td.estimate(j, &arrived, &pat),
+                td.estimate(j - n, &[], &pat)
+            );
+        }
+
+        // The oracle indexes absolutely: no compaction promise.
+        assert_eq!(OracleEstimator { sizes: vec![] }.history_window(&pat), None);
     }
 
     #[test]

@@ -64,14 +64,17 @@ pub use estimate::{
 pub use eventsim::{validate_against_events, EventSimReport};
 pub use lookahead::LookaheadWindow;
 pub use lossy::{cap_peak_with_quantizer, drop_b_pictures, BDropResult, QuantizerControlResult};
-pub use online::{smooth_streaming, OnlineSmoother};
+pub use online::{
+    decide_live, prunable_prefix, smooth_streaming, LiveCursor, LiveParams, OnlineSmoother,
+    SizeHistory,
+};
 pub use ott::{ott_smooth, OttError};
 pub use params::{ParamError, SmootherParams};
 pub use receiver::{
     client_buffer_at_bound, min_playback_offset, simulate_receiver, ReceiverReport,
 };
 pub use smoother::{
-    smooth, smooth_batch, smooth_with, smooth_with_scratch, PictureSchedule, RateSegment,
-    RateSelection, SmoothScratch, Smoother, SmoothingResult, TIME_EPS,
+    smooth, smooth_batch, smooth_with, smooth_with_scratch, BlockLanes, PictureSchedule,
+    RateSegment, RateSelection, SmoothScratch, Smoother, SmoothingResult, TIME_EPS,
 };
 pub use verify::{check_theorem1, theorem_applies, Theorem1Report};

@@ -81,6 +81,17 @@ impl LookaheadWindow {
         self.primed = false;
     }
 
+    /// Touches the window's slot storage so batch drivers interleaving
+    /// many windows can pull the *next* session's buffer toward cache
+    /// while still working on the current one. The buffer is the one
+    /// per-session heap block in an otherwise struct-of-arrays layout,
+    /// so its demand-miss latency is otherwise fully exposed.
+    #[inline(always)]
+    pub fn prewarm(&self) {
+        std::hint::black_box(self.buf.first().copied());
+        std::hint::black_box(self.buf.last().copied());
+    }
+
     /// Slides the window to picture `i` and returns the resolved sizes
     /// `S_i .. S_{i+look−1}` as a contiguous slice.
     ///

@@ -13,8 +13,23 @@
 //! pins down. For live capture (unknown length) the only difference is at
 //! the very end of the sequence: until the encoder signals the end, the
 //! lookahead extends past the final picture using estimates, which can
-//! select slightly different rates for the last `H − 1` pictures. Theorem
-//! 1 is unaffected either way.
+//! select slightly different rates for the last `H − 1` pictures (pinned
+//! by `tests/live_tail_props.rs`). Theorem 1 is unaffected either way.
+//!
+//! ## Batched decisions and bounded memory
+//!
+//! The decision step itself is exposed as [`decide_live`], a free
+//! function over explicit cursor state, so that a driver holding many
+//! sessions (the `smooth-engine` session engine) can advance them all
+//! through the same hot path without one heap-allocated smoother per
+//! stream. Arrived history is addressed *logically* through
+//! [`SizeHistory`]: a session that has pruned its decided prefix passes
+//! `base > 0` and only the retained tail. [`OnlineSmoother`] itself
+//! compacts its history this way whenever its estimator declares a
+//! [`SizeEstimator::history_window`], so a live session holds O(H + N +
+//! K + D/τ) sizes instead of every picture ever pushed — with schedules
+//! bit-identical to full history (pinned by proptests against
+//! [`crate::reference::smooth_live_reference`]).
 
 use crate::estimate::{PatternEstimator, SizeEstimator};
 use crate::lookahead::LookaheadWindow;
@@ -23,6 +38,201 @@ use crate::smoother::{
     decide_one, BlockLanes, DecideCtx, PictureSchedule, RateSelection, SmoothingResult, TIME_EPS,
 };
 use smooth_mpeg::GopPattern;
+
+/// Per-session decision state for [`decide_live`]: everything one live
+/// stream carries between decisions, small and `Copy`-able so batch
+/// drivers can keep it in parallel arrays.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LiveCursor {
+    /// Decisions already emitted; the next decidable picture index.
+    pub decided: usize,
+    /// Departure time of the last decided picture (0.0 before the first).
+    pub depart: f64,
+    /// Rate of the last decided picture, if any.
+    pub prev_rate: Option<f64>,
+    /// High-water mark of the visible prefix length consulted so far;
+    /// together with `decided` it bounds which history may be pruned
+    /// (see [`prunable_prefix`]).
+    pub watermark: usize,
+}
+
+impl LiveCursor {
+    /// A fresh session: nothing decided, nothing consulted.
+    pub fn new() -> Self {
+        LiveCursor {
+            decided: 0,
+            depart: 0.0,
+            prev_rate: None,
+            watermark: 0,
+        }
+    }
+}
+
+impl Default for LiveCursor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A logically addressed view of a session's arrived sizes: picture `x`
+/// (display order) has size `tail[x − base]`, for `base ≤ x < base +
+/// tail.len()`. Sessions that never prune pass `base = 0` and the full
+/// history; pruning sessions pass the retained suffix.
+///
+/// `base` must be a multiple of the GOP period `N` and must satisfy the
+/// bound from [`prunable_prefix`] — both are what keeps pruned schedules
+/// bit-identical to full history (see
+/// [`SizeEstimator::history_window`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeHistory<'a> {
+    /// Logical index of `tail[0]` (number of pruned sizes).
+    pub base: usize,
+    /// Retained sizes, in display order.
+    pub tail: &'a [u64],
+}
+
+impl SizeHistory<'_> {
+    /// Total pictures pushed so far (pruned + retained).
+    pub fn pushed(&self) -> usize {
+        self.base + self.tail.len()
+    }
+}
+
+/// The per-class (not per-session) configuration for [`decide_live`]:
+/// many sessions sharing one `(params, pattern, estimator, selection)`
+/// class borrow a single `LiveParams`.
+pub struct LiveParams<'a, E: SizeEstimator + ?Sized> {
+    /// Smoother parameters `(D, K, H)`.
+    pub params: &'a SmootherParams,
+    /// The GOP pattern.
+    pub pattern: GopPattern,
+    /// Size estimator for not-yet-arrived pictures.
+    pub estimator: &'a E,
+    /// Rate-selection policy.
+    pub selection: RateSelection,
+    /// Total length, if known up front (stored video).
+    pub total: Option<usize>,
+}
+
+/// Attempts one live rate decision — the body of the paper's `notify`
+/// step, shared verbatim by [`OnlineSmoother::push`] and the
+/// `smooth-engine` session engine.
+///
+/// Returns `Some` (and advances `cursor`) when picture
+/// `cursor.decided`'s preconditions are met: its start time `t_i` has
+/// enough arrivals in hand (`⌊t_i/τ⌋`, at least `i + K`, at least `i +
+/// 1`), or the stream has `ended`. Returns `None` when the decision must
+/// wait for more pushes (or everything is decided). Call in a loop to
+/// drain; `need`/`visible_len` are monotone across consecutive
+/// decisions, so `window` slides instead of refilling.
+///
+/// `lanes` is decision scratch a driver hoists across sessions;
+/// `window` is per-session sliding lookahead state and must see the same
+/// session (and the same `history.base`) on every call — reset it after
+/// pruning.
+pub fn decide_live<E: SizeEstimator + ?Sized>(
+    cfg: &LiveParams<'_, E>,
+    history: SizeHistory<'_>,
+    ended: bool,
+    cursor: &mut LiveCursor,
+    window: &mut LookaheadWindow,
+    lanes: &mut BlockLanes,
+) -> Option<PictureSchedule> {
+    let params = cfg.params;
+    let tau = params.tau;
+    let k = params.k;
+    let pushed = history.pushed();
+    let n_known: Option<usize> = if ended { Some(pushed) } else { cfg.total };
+
+    let i = cursor.decided;
+    if let Some(n) = n_known {
+        if i >= n {
+            return None;
+        }
+    }
+    // t_i is known once d_{i−1} is known (it is: i−1 decided).
+    let time = params.start_time(i, cursor.depart);
+    // Everything that will have arrived by t_i must be in hand; for
+    // K = 0, picture i itself must also be in hand because its actual
+    // size determines the departure time.
+    let arrived_by_time = ((time + TIME_EPS) / tau).floor() as usize;
+    let mut need = arrived_by_time.max(i + k).max(i + 1);
+    if let Some(n) = n_known {
+        need = need.min(n.max(i + 1));
+    }
+    if pushed < need && !ended {
+        return None; // wait for more pushes
+    }
+    if pushed <= i {
+        return None; // even at end-of-stream we cannot schedule unseen pictures
+    }
+    let visible_len = need.min(pushed);
+    cursor.watermark = cursor.watermark.max(visible_len);
+
+    // All reads below are at logical indices ≥ base: the decision reads
+    // `size_i` at `i ≥ decided ≥ base`, the window at `j ≥ i`, and the
+    // estimator (per its `history_window` promise) within the retained
+    // suffix. Shifting every index by `base` — a multiple of N — keeps
+    // GOP slots, and therefore every estimate and every cached window
+    // slot, bit-identical to the unpruned computation.
+    let base = history.base;
+    debug_assert!(base <= i, "pruned past the next undecided picture");
+    debug_assert!(base % cfg.pattern.n() == 0, "prune not pattern-aligned");
+    let visible = &history.tail[..visible_len - base];
+
+    let pattern = cfg.pattern;
+    let estimator = cfg.estimator;
+    let look = match n_known {
+        Some(n) => params.h.min(n - i),
+        None => params.h,
+    };
+    let sizes_ahead = window.advance(
+        i - base,
+        look,
+        visible,
+        estimator.invalidation(),
+        pattern.n(),
+        |j| estimator.estimate(j, visible, &pattern),
+    );
+    let ctx = DecideCtx {
+        params,
+        sizes_ahead,
+        pattern_n: pattern.n(),
+        selection: cfg.selection,
+        i,
+        start: time,
+        prev_rate: cursor.prev_rate,
+        size_i: history.tail[i - base],
+        // Arrivals stream in, so the size bound needed for the
+        // order-free scan is not known up front.
+        exact_prefix: false,
+    };
+    let decision = decide_one(&ctx, lanes);
+    cursor.depart = decision.depart;
+    cursor.prev_rate = Some(decision.rate);
+    cursor.decided += 1;
+    Some(decision)
+}
+
+/// How many leading sizes a session may prune right now: the largest
+/// whole-pattern prefix below both `cursor.decided` (no decision will
+/// read an earlier `size_i` or lookahead slot again) and
+/// `cursor.watermark − w` (the estimator's declared
+/// [`history_window`](SizeEstimator::history_window) stays fully
+/// retained — `visible_len` is monotone, so every future estimate reads
+/// within the last `w` of a prefix at least as long as the watermark).
+///
+/// Returns 0 when the estimator makes no compaction promise
+/// (`history_window() == None`).
+pub fn prunable_prefix(
+    cursor: &LiveCursor,
+    history_window: Option<usize>,
+    pattern_n: usize,
+) -> usize {
+    let Some(w) = history_window else { return 0 };
+    let cut = cursor.decided.min(cursor.watermark.saturating_sub(w));
+    cut - cut % pattern_n.max(1)
+}
 
 /// Incremental smoother for a live or stored picture stream.
 pub struct OnlineSmoother<E: SizeEstimator = PatternEstimator> {
@@ -33,15 +243,18 @@ pub struct OnlineSmoother<E: SizeEstimator = PatternEstimator> {
     /// Total length, if known up front (stored video). Enables exact
     /// equivalence with the offline smoother.
     expected_total: Option<usize>,
-    /// Sizes pushed so far (display order).
-    arrived: Vec<u64>,
-    /// Decisions already emitted.
-    decided: usize,
-    /// Incrementally maintained lookahead (see `DecideCtx::sizes_ahead`).
+    /// Logical index of `buf[0]`: sizes `0..base` have been pruned.
+    base: usize,
+    /// Retained sizes (display order, logical pictures
+    /// `base..base + buf.len()`).
+    buf: Vec<u64>,
+    /// Decision state shared with [`decide_live`].
+    cursor: LiveCursor,
+    /// Incrementally maintained lookahead (see `DecideCtx::sizes_ahead`),
+    /// in `base`-shifted coordinates.
     window: LookaheadWindow,
-    /// Departure time of the last decided picture.
-    depart: f64,
-    prev_rate: Option<f64>,
+    /// Cached `estimator.history_window(&pattern)`.
+    hist: Option<usize>,
     ended: bool,
 }
 
@@ -80,29 +293,45 @@ impl<E: SizeEstimator> OnlineSmoother<E> {
         selection: RateSelection,
         expected_total: Option<usize>,
     ) -> Self {
+        let hist = estimator.history_window(&pattern);
         OnlineSmoother {
             params,
             pattern,
             estimator,
             selection,
             expected_total,
-            arrived: Vec::new(),
-            decided: 0,
+            base: 0,
+            buf: Vec::new(),
+            cursor: LiveCursor::new(),
             window: LookaheadWindow::new(),
-            depart: 0.0,
-            prev_rate: None,
+            hist,
             ended: false,
         }
     }
 
     /// Number of pictures pushed so far.
     pub fn pictures_pushed(&self) -> usize {
-        self.arrived.len()
+        self.base + self.buf.len()
     }
 
     /// Number of rate decisions emitted so far.
     pub fn pictures_decided(&self) -> usize {
-        self.decided
+        self.cursor.decided
+    }
+
+    /// Number of arrived sizes currently retained in memory. With a
+    /// compaction-capable estimator this stays O(H + N + K + D/τ) for a
+    /// live session no matter how many pictures are pushed; without one
+    /// (e.g. [`crate::OracleEstimator`]) it equals
+    /// [`pictures_pushed`](Self::pictures_pushed).
+    pub fn retained(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Allocated capacity of the retained-size buffer, for memory
+    /// regression tests.
+    pub fn retained_capacity(&self) -> usize {
+        self.buf.capacity()
     }
 
     /// Feeds the next picture's coded size (bits) and returns any newly
@@ -117,11 +346,11 @@ impl<E: SizeEstimator> OnlineSmoother<E> {
         assert!(!self.ended, "push after finish()");
         if let Some(total) = self.expected_total {
             assert!(
-                self.arrived.len() < total,
+                self.pictures_pushed() < total,
                 "push beyond declared total {total}"
             );
         }
-        self.arrived.push(size_bits);
+        self.buf.push(size_bits);
         self.drain()
     }
 
@@ -132,80 +361,58 @@ impl<E: SizeEstimator> OnlineSmoother<E> {
         self.drain()
     }
 
-    /// Emits every decision whose preconditions are now met.
+    /// Emits every decision whose preconditions are now met, then prunes
+    /// decided history the estimator no longer needs.
     fn drain(&mut self) -> Vec<PictureSchedule> {
-        let tau = self.params.tau;
-        let k = self.params.k;
-        let n_known: Option<usize> = if self.ended {
-            Some(self.arrived.len())
-        } else {
-            self.expected_total
-        };
-
         let mut out = Vec::new();
         let mut lanes = BlockLanes::default();
+        let OnlineSmoother {
+            params,
+            pattern,
+            estimator,
+            selection,
+            expected_total,
+            base,
+            buf,
+            cursor,
+            window,
+            ended,
+            ..
+        } = self;
+        let cfg = LiveParams {
+            params,
+            pattern: *pattern,
+            estimator,
+            selection: *selection,
+            total: *expected_total,
+        };
         loop {
-            let i = self.decided;
-            if let Some(n) = n_known {
-                if i >= n {
-                    break;
-                }
-            }
-            // t_i is known once d_{i−1} is known (it is: i−1 decided).
-            let time = self.params.start_time(i, self.depart);
-            // Everything that will have arrived by t_i must be in hand;
-            // for K = 0, picture i itself must also be in hand because
-            // its actual size determines the departure time.
-            let arrived_by_time = ((time + TIME_EPS) / tau).floor() as usize;
-            let mut need = arrived_by_time.max(i + k).max(i + 1);
-            if let Some(n) = n_known {
-                need = need.min(n.max(i + 1));
-            }
-            if self.arrived.len() < need && !self.ended {
-                break; // wait for more pushes
-            }
-            if self.arrived.len() <= i {
-                break; // even at end-of-stream we cannot schedule unseen pictures
-            }
-            let visible_len = need.min(self.arrived.len());
-
-            let pattern = self.pattern;
-            let estimator = &self.estimator;
-            let visible = &self.arrived[..visible_len];
-            let look = match n_known {
-                Some(n) => self.params.h.min(n - i),
-                None => self.params.h,
+            let history = SizeHistory {
+                base: *base,
+                tail: buf,
             };
-            // `visible_len` is monotone across drain steps (t_i and
-            // `need` both are), so the window slides instead of refilling.
-            let sizes_ahead = self.window.advance(
-                i,
-                look,
-                visible,
-                estimator.invalidation(),
-                pattern.n(),
-                |j| estimator.estimate(j, visible, &pattern),
-            );
-            let ctx = DecideCtx {
-                params: &self.params,
-                sizes_ahead,
-                pattern_n: pattern.n(),
-                selection: self.selection,
-                i,
-                start: time,
-                prev_rate: self.prev_rate,
-                size_i: self.arrived[i],
-                // Arrivals stream in, so the size bound needed for the
-                // order-free scan is not known up front.
-                exact_prefix: false,
-            };
-            let decision = decide_one(&ctx, &mut lanes);
-            self.depart = decision.depart;
-            self.prev_rate = Some(decision.rate);
-            self.decided += 1;
-            out.push(decision);
+            match decide_live(&cfg, history, *ended, cursor, window, &mut lanes) {
+                Some(decision) => out.push(decision),
+                None => break,
+            }
         }
+        self.compact();
         out
+    }
+
+    /// Drops the prunable prefix once it dominates the buffer, keeping
+    /// the memmove amortized O(1) per push.
+    fn compact(&mut self) {
+        let cut = prunable_prefix(&self.cursor, self.hist, self.pattern.n());
+        let drop = cut.saturating_sub(self.base);
+        if drop == 0 || drop < self.buf.len() / 2 {
+            return;
+        }
+        self.buf.drain(..drop);
+        self.base = cut;
+        // The window caches `base`-shifted coordinates; force a refill
+        // (bit-identical to sliding — pinned by the lookahead proptests).
+        self.window.reset();
     }
 
     /// Collects all decisions made so far into a [`SmoothingResult`]-style
@@ -372,5 +579,27 @@ mod tests {
         assert_eq!(online.pictures_pushed(), 18);
         online.finish();
         assert_eq!(online.pictures_decided(), 18);
+    }
+
+    #[test]
+    fn live_history_stays_bounded() {
+        // A live session with the pattern estimator prunes its decided
+        // prefix: after thousands of pushes the retained slice (and its
+        // allocation) stays a small constant, not O(pushed).
+        let params = SmootherParams::at_30fps(0.2, 1, 9).unwrap();
+        let pattern = GopPattern::new(3, 9).unwrap();
+        let mut online = OnlineSmoother::new(params, pattern);
+        let t = trace(9);
+        let mut max_retained = 0;
+        for i in 0..5_000usize {
+            online.push(t.sizes[i % 9]);
+            max_retained = max_retained.max(online.retained());
+        }
+        assert_eq!(online.pictures_pushed(), 5_000);
+        // Live bound: undecided tail ≤ max(⌈D/τ⌉, K) + slack, plus the
+        // estimator window 2N and pattern-alignment slop — far below the
+        // push count.
+        assert!(max_retained < 128, "retained grew to {max_retained}");
+        assert!(online.retained_capacity() < 256);
     }
 }

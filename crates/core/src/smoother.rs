@@ -329,8 +329,12 @@ struct BoundState {
 /// out of the inlined block body stops scalar replacement from dissolving
 /// the arrays, which would unroll the elementwise passes into scalar
 /// chains the backend fails to re-pack into `divpd`.
+///
+/// Public so batch drivers ([`crate::decide_live`] callers such as the
+/// session engine) can hoist one buffer across many sessions; the fields
+/// stay private — `Default` is the only constructor needed.
 #[derive(Default)]
-pub(crate) struct BlockLanes {
+pub struct BlockLanes {
     sums: [f64; DECIDE_BLOCK],
     dls: [f64; DECIDE_BLOCK],
     dus: [f64; DECIDE_BLOCK],

@@ -1,0 +1,744 @@
+//! # smooth-engine
+//!
+//! A **session engine**: up to a million concurrent live smoothing
+//! sessions — one per active viewer, the production setting the paper's
+//! transport-protocol smoother (Figure 1) implies — advanced in lockstep
+//! picture ticks through one process.
+//!
+//! One [`smooth_core::OnlineSmoother`] per stream does not scale to that
+//! count: each carries its own heap-scattered state and (before PR 5) an
+//! arrival history that grew without bound. The engine replaces the
+//! per-stream objects with:
+//!
+//! * **Struct-of-arrays session store.** Per-session scalars (`decided`,
+//!   `depart`, `prev_rate`, `watermark`, history `base`/`len`) live in
+//!   parallel arrays inside a [`Shard`]; arrival history is a bounded
+//!   per-session slot in one flat ring buffer, pruned in whole GOP
+//!   periods under the estimator's
+//!   [`history_window`](smooth_core::SizeEstimator::history_window)
+//!   contract — so resident memory per session is O(H + N + K + D/τ),
+//!   not O(pictures pushed). Sliding [`smooth_core::LookaheadWindow`]s
+//!   are kept per session (the O(1)-per-picture fast path needs them);
+//!   decision scratch ([`smooth_core::BlockLanes`]) is per shard.
+//! * **Tick scheduler.** [`SessionEngine::tick`] feeds every session its
+//!   next picture and drains all decisions whose paper preconditions are
+//!   now met, via [`smooth_core::decide_live`] — the *same* decision
+//!   function `OnlineSmoother` uses, so a session's schedule is
+//!   bit-identical to a dedicated smoother fed the same sizes (pinned by
+//!   proptests). Per-class configuration (params, pattern, estimator,
+//!   selection) is shared across all sessions of a
+//!   [`SessionClass`]. For throughput, [`SessionEngine::run`] executes a
+//!   whole batch of ticks **session-major** — each session's state
+//!   streams from memory once per batch instead of once per tick — and
+//!   is bit-identical to the lockstep loop (sessions are independent).
+//! * **Shard-parallel execution.** Sessions are assigned to fixed-size
+//!   shards by session id (never by worker count); ticks fan shards out
+//!   over [`smooth_sweep::par_map`] with index-ordered collection.
+//!   Shards are disjoint state machines, so the result — every decision,
+//!   and the per-session [`digest`](SessionEngine::digest) that
+//!   fingerprints them — is bit-identical to serial for any thread
+//!   count, the same discipline as the netsim mux's `ShardPlan`.
+//! * **Mux adapter.** [`mux::mux_sessions`] streams every session's rate
+//!   schedule into the [`smooth_netsim::RateSweep`] k-way merge as lazy
+//!   [`smooth_metrics::RateCursor`]s, without materializing a
+//!   [`smooth_metrics::StepFunction`] per source.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::sync::Mutex;
+
+use smooth_core::{
+    decide_live, prunable_prefix, BlockLanes, LiveCursor, LiveParams, LookaheadWindow,
+    PatternEstimator, PictureSchedule, RateSelection, SizeEstimator, SizeHistory, SmootherParams,
+};
+use smooth_mpeg::GopPattern;
+use smooth_sweep::par_map;
+
+pub mod mux;
+pub mod synthetic;
+
+pub use synthetic::SyntheticFleet;
+
+/// Default sessions per shard. Fixed by session id — never by worker
+/// count — so the shard layout, and with it every output bit, is
+/// independent of how many threads advance a tick.
+pub const SESSIONS_PER_SHARD: usize = 4096;
+
+/// Produces each session's picture sizes on demand: `size(s, p)` is the
+/// coded size (bits) of session `s`'s picture `p` (display order). A
+/// pure function of its arguments, so ticks can re-derive sizes instead
+/// of storing a megasession's worth of traces.
+pub trait SizeSource: Sync {
+    /// Coded size of picture `picture` of session `session`, in bits.
+    fn size(&self, session: u64, picture: u64) -> u64;
+}
+
+/// A configuration class shared by many sessions: the paper's `(D, K,
+/// H)`, the GOP pattern, the estimator, and the rate-selection policy.
+#[derive(Debug, Clone)]
+pub struct SessionClass {
+    /// Smoother parameters.
+    pub params: SmootherParams,
+    /// GOP pattern of the class's streams.
+    pub pattern: GopPattern,
+    /// Rate-selection policy.
+    pub selection: RateSelection,
+    /// Size estimator (shared by every session of the class).
+    pub estimator: PatternEstimator,
+}
+
+impl SessionClass {
+    /// A class with the paper's default estimator and basic selection.
+    pub fn new(params: SmootherParams, pattern: GopPattern) -> Self {
+        SessionClass {
+            params,
+            pattern,
+            selection: RateSelection::Basic,
+            estimator: PatternEstimator::default(),
+        }
+    }
+}
+
+/// Per-class derived constants, computed once at engine construction.
+#[derive(Debug, Clone)]
+struct ClassInfo {
+    class: SessionClass,
+    /// The estimator's declared history window (`2N` for the pattern
+    /// estimator).
+    hist: usize,
+    /// Fixed per-session history slot size. Sized from Theorem 1: the
+    /// undecided backlog never exceeds ⌈D/τ⌉ + K (+1 for the picture
+    /// pushed this tick); on top of that live tail the prune cut lags by
+    /// at most the watermark lead (another backlog), the estimator
+    /// window, and pattern alignment. Doubled so compaction is amortized
+    /// (each memmove frees at least half the slot), plus slack.
+    ring_cap: usize,
+}
+
+impl ClassInfo {
+    fn new(class: SessionClass) -> Self {
+        let hist = class
+            .estimator
+            .history_window(&class.pattern)
+            .expect("engine estimator must support history compaction");
+        let n = class.pattern.n();
+        let backlog =
+            (class.params.delay_bound / class.params.tau).ceil() as usize + class.params.k + 1;
+        let ring_cap = 2 * (backlog + hist + n + 2) + 16;
+        ClassInfo {
+            class,
+            hist,
+            ring_cap,
+        }
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+#[inline(always)]
+fn fnv(digest: u64, word: u64) -> u64 {
+    (digest ^ word).wrapping_mul(FNV_PRIME)
+}
+
+/// One shard's struct-of-arrays session store. Index `j` is the
+/// shard-local session slot; all vectors run in lockstep.
+struct Shard {
+    class_of: Vec<u32>,
+    sid: Vec<u64>,
+    /// Start of session `j`'s history slot in `ring`.
+    ring_off: Vec<usize>,
+    /// Flat history storage: session `j` retains logical pictures
+    /// `base[j] .. base[j] + len[j]` at `ring[ring_off[j] ..]`.
+    ring: Vec<u64>,
+    base: Vec<usize>,
+    len: Vec<u32>,
+    decided: Vec<usize>,
+    depart: Vec<f64>,
+    prev_rate: Vec<f64>,
+    watermark: Vec<usize>,
+    /// FNV-1a fingerprint of every decision emitted by session `j`
+    /// (index, start, rate, depart bits) — the determinism witness.
+    digest: Vec<u64>,
+    windows: Vec<LookaheadWindow>,
+    /// Decision scratch, shared by every session of the shard.
+    lanes: BlockLanes,
+    decisions: u64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            class_of: Vec::new(),
+            sid: Vec::new(),
+            ring_off: Vec::new(),
+            ring: Vec::new(),
+            base: Vec::new(),
+            len: Vec::new(),
+            decided: Vec::new(),
+            depart: Vec::new(),
+            prev_rate: Vec::new(),
+            watermark: Vec::new(),
+            digest: Vec::new(),
+            windows: Vec::new(),
+            lanes: BlockLanes::default(),
+            decisions: 0,
+        }
+    }
+
+    fn count(&self) -> usize {
+        self.class_of.len()
+    }
+
+    fn push_session(&mut self, class_id: u32, sid: u64, info: &ClassInfo) {
+        self.class_of.push(class_id);
+        self.sid.push(sid);
+        self.ring_off.push(self.ring.len());
+        self.ring.resize(self.ring.len() + info.ring_cap, 0);
+        self.base.push(0);
+        self.len.push(0);
+        self.decided.push(0);
+        self.depart.push(0.0);
+        self.prev_rate.push(0.0);
+        self.watermark.push(0);
+        self.digest.push(FNV_OFFSET);
+        self.windows.push(LookaheadWindow::new());
+    }
+
+    /// Advances every session of the shard by one tick: optionally push
+    /// the next picture (live tick) and drain every decision now
+    /// decidable. Returns the number of decisions made.
+    fn advance<S: SizeSource, F: FnMut(u64, &PictureSchedule)>(
+        &mut self,
+        classes: &[ClassInfo],
+        source: &S,
+        push: bool,
+        ended: bool,
+        sink: &mut F,
+    ) -> u64 {
+        let mut made = 0u64;
+        for j in 0..self.count() {
+            self.prefetch(j + 1);
+            made += self.step(j, classes, source, push, ended, sink);
+        }
+        self.decisions += made;
+        made
+    }
+
+    /// Advances every session of the shard by `ticks` live ticks (plus,
+    /// when `finish` is set, the end-of-stream drain), **session-major**:
+    /// each session runs through the whole batch before the next is
+    /// touched, so its ring slot, window, and scalars are streamed from
+    /// memory once per batch instead of once per tick. Sessions are
+    /// independent state machines, so every decision and digest is
+    /// bit-identical to `ticks` calls of [`advance`] (pinned by
+    /// proptests); only the interleaving a sink would observe differs,
+    /// which is why this path takes none — lockstep consumers (the mux
+    /// adapter) use [`advance`].
+    fn advance_batch<S: SizeSource>(
+        &mut self,
+        classes: &[ClassInfo],
+        source: &S,
+        ticks: u64,
+        finish: bool,
+    ) -> u64 {
+        let mut made = 0u64;
+        let mut sink = |_: u64, _: &PictureSchedule| {};
+        for j in 0..self.count() {
+            self.prefetch(j + 1);
+            for _ in 0..ticks {
+                made += self.step(j, classes, source, true, false, &mut sink);
+            }
+            if finish {
+                made += self.step(j, classes, source, false, true, &mut sink);
+            }
+        }
+        self.decisions += made;
+        made
+    }
+
+    /// Hide session `j`'s demand misses behind its predecessor's work:
+    /// its window buffer is a per-session heap block (the one pointer
+    /// chase here), and its ring slot sits a long stride away.
+    #[inline(always)]
+    fn prefetch(&self, j: usize) {
+        if let Some(next) = self.windows.get(j) {
+            next.prewarm();
+            std::hint::black_box(self.ring.get(self.ring_off[j]).copied());
+        }
+    }
+
+    /// One tick of one session: optionally push the next picture and
+    /// drain every decision now decidable. Returns the decisions made.
+    #[inline(always)]
+    fn step<S: SizeSource, F: FnMut(u64, &PictureSchedule)>(
+        &mut self,
+        j: usize,
+        classes: &[ClassInfo],
+        source: &S,
+        push: bool,
+        ended: bool,
+        sink: &mut F,
+    ) -> u64 {
+        let mut made = 0u64;
+        let info = &classes[self.class_of[j] as usize];
+        let off = self.ring_off[j];
+
+        if push {
+            if self.len[j] as usize == info.ring_cap {
+                self.force_compact(j, info);
+            }
+            let pushed = self.base[j] + self.len[j] as usize;
+            let size = source.size(self.sid[j], pushed as u64);
+            self.ring[off + self.len[j] as usize] = size;
+            self.len[j] += 1;
+        }
+
+        let mut cursor = LiveCursor {
+            decided: self.decided[j],
+            depart: self.depart[j],
+            prev_rate: if self.decided[j] > 0 {
+                Some(self.prev_rate[j])
+            } else {
+                None
+            },
+            watermark: self.watermark[j],
+        };
+        let cfg = LiveParams {
+            params: &info.class.params,
+            pattern: info.class.pattern,
+            estimator: &info.class.estimator,
+            selection: info.class.selection,
+            total: None,
+        };
+        let history = SizeHistory {
+            base: self.base[j],
+            tail: &self.ring[off..off + self.len[j] as usize],
+        };
+        let mut digest = self.digest[j];
+        while let Some(decision) = decide_live(
+            &cfg,
+            history,
+            ended,
+            &mut cursor,
+            &mut self.windows[j],
+            &mut self.lanes,
+        ) {
+            digest = fnv(digest, decision.index as u64);
+            digest = fnv(digest, decision.start.to_bits());
+            digest = fnv(digest, decision.rate.to_bits());
+            digest = fnv(digest, decision.depart.to_bits());
+            made += 1;
+            sink(self.sid[j], &decision);
+        }
+        self.decided[j] = cursor.decided;
+        self.depart[j] = cursor.depart;
+        if let Some(r) = cursor.prev_rate {
+            self.prev_rate[j] = r;
+        }
+        self.watermark[j] = cursor.watermark;
+        self.digest[j] = digest;
+
+        // Lazy prune: drop the decided-and-unneeded prefix once it
+        // covers at least half the retained slice (amortized O(1)
+        // per push).
+        let cut = prunable_prefix(&cursor, Some(info.hist), info.class.pattern.n());
+        let drop = cut.saturating_sub(self.base[j]);
+        if drop > 0 && drop >= (self.len[j] as usize) / 2 {
+            self.compact(j, drop, cut);
+        }
+        made
+    }
+
+    /// The push path found the slot full: prune now or die. Theorem 1
+    /// bounds the live tail well below `ring_cap`, so an empty prune
+    /// here means the slot was mis-sized — a bug, not a load condition.
+    fn force_compact(&mut self, j: usize, info: &ClassInfo) {
+        let cursor = LiveCursor {
+            decided: self.decided[j],
+            depart: self.depart[j],
+            prev_rate: None,
+            watermark: self.watermark[j],
+        };
+        let cut = prunable_prefix(&cursor, Some(info.hist), info.class.pattern.n());
+        let drop = cut.saturating_sub(self.base[j]);
+        assert!(
+            drop > 0,
+            "session {} history slot full ({} sizes) with nothing prunable",
+            self.sid[j],
+            info.ring_cap
+        );
+        self.compact(j, drop, cut);
+    }
+
+    fn compact(&mut self, j: usize, drop: usize, cut: usize) {
+        let off = self.ring_off[j];
+        let len = self.len[j] as usize;
+        self.ring.copy_within(off + drop..off + len, off);
+        self.len[j] = (len - drop) as u32;
+        self.base[j] = cut;
+        // The window caches base-shifted coordinates; force a refill
+        // (bit-identical to sliding — pinned by the lookahead proptests).
+        self.windows[j].reset();
+    }
+}
+
+/// The engine: a fleet of live smoothing sessions advanced in lockstep
+/// picture ticks. See the crate docs for the architecture.
+///
+/// ```
+/// use smooth_core::SmootherParams;
+/// use smooth_engine::{SessionClass, SessionEngine, SyntheticFleet};
+/// use smooth_mpeg::GopPattern;
+///
+/// let pattern = GopPattern::new(3, 9).unwrap();
+/// let class = SessionClass::new(SmootherParams::recommended(9), pattern);
+/// let mut engine = SessionEngine::new(vec![class]);
+/// engine.add_sessions(0, 1000);
+/// let fleet = SyntheticFleet { seed: 7, pattern };
+/// for _ in 0..30 {
+///     engine.tick(&fleet, 1);
+/// }
+/// engine.finish(&fleet, 1);
+/// assert_eq!(engine.decisions(), 30 * 1000);
+/// ```
+pub struct SessionEngine {
+    classes: Vec<ClassInfo>,
+    shards: Vec<Mutex<Shard>>,
+    shard_size: usize,
+    sessions: usize,
+    ticks: u64,
+    ended: bool,
+}
+
+impl SessionEngine {
+    /// An engine over the given session classes, with the default shard
+    /// size ([`SESSIONS_PER_SHARD`]).
+    pub fn new(classes: Vec<SessionClass>) -> Self {
+        Self::with_shard_size(classes, SESSIONS_PER_SHARD)
+    }
+
+    /// An engine with an explicit shard size (tests use small shards to
+    /// exercise many-shard layouts with few sessions). The shard layout
+    /// is a pure function of session ids and this size — results do not
+    /// depend on it (pinned by proptests), only batching does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty or `shard_size` is 0.
+    pub fn with_shard_size(classes: Vec<SessionClass>, shard_size: usize) -> Self {
+        assert!(!classes.is_empty(), "at least one session class");
+        assert!(shard_size > 0, "shard size must be positive");
+        SessionEngine {
+            classes: classes.into_iter().map(ClassInfo::new).collect(),
+            shards: Vec::new(),
+            shard_size,
+            sessions: 0,
+            ticks: 0,
+            ended: false,
+        }
+    }
+
+    /// Adds `count` sessions of class `class_id`. Sessions receive
+    /// consecutive ids in creation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics after the first tick (the lockstep schedule admits no
+    /// stragglers), or on an unknown class.
+    pub fn add_sessions(&mut self, class_id: usize, count: usize) {
+        assert!(
+            self.ticks == 0 && !self.ended,
+            "add sessions before ticking"
+        );
+        assert!(class_id < self.classes.len(), "unknown class {class_id}");
+        let info = &self.classes[class_id];
+        for _ in 0..count {
+            let sid = self.sessions as u64;
+            if self.sessions % self.shard_size == 0 {
+                self.shards.push(Mutex::new(Shard::new()));
+            }
+            let shard = self
+                .shards
+                .last_mut()
+                .expect("just ensured")
+                .get_mut()
+                .expect("unshared");
+            shard.push_session(class_id as u32, sid, info);
+            self.sessions += 1;
+        }
+    }
+
+    /// Number of sessions in the fleet.
+    pub fn session_count(&self) -> usize {
+        self.sessions
+    }
+
+    /// Number of ticks (pictures per session) fed so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Total picture decisions made across all sessions.
+    pub fn decisions(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").decisions)
+            .sum()
+    }
+
+    /// The per-session history slot size (in sizes) of a class — the
+    /// engine's O(H + N + K + D/τ) memory bound, independent of how many
+    /// pictures a session is fed.
+    pub fn class_ring_cap(&self, class_id: usize) -> usize {
+        self.classes[class_id].ring_cap
+    }
+
+    /// Feeds every session its next picture from `source` and drains all
+    /// decisions now decidable, fanning shards over `threads` workers.
+    /// Bit-identical to `threads == 1` for any thread count. Returns the
+    /// number of decisions made this tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics after [`finish`](Self::finish).
+    pub fn tick<S: SizeSource>(&mut self, source: &S, threads: usize) -> u64 {
+        assert!(!self.ended, "tick after finish");
+        let classes = &self.classes;
+        let shards = &self.shards;
+        let idx: Vec<usize> = (0..shards.len()).collect();
+        let made = par_map(threads, &idx, |_, &s| {
+            let mut shard = shards[s].lock().expect("shard poisoned");
+            shard.advance(classes, source, true, false, &mut |_, _| {})
+        });
+        self.ticks += 1;
+        made.into_iter().sum()
+    }
+
+    /// Signals end-of-stream to every session and drains the remaining
+    /// tail decisions. Returns the number of decisions made.
+    pub fn finish<S: SizeSource>(&mut self, source: &S, threads: usize) -> u64 {
+        let classes = &self.classes;
+        let shards = &self.shards;
+        let idx: Vec<usize> = (0..shards.len()).collect();
+        let made = par_map(threads, &idx, |_, &s| {
+            let mut shard = shards[s].lock().expect("shard poisoned");
+            shard.advance(classes, source, false, true, &mut |_, _| {})
+        });
+        self.ended = true;
+        made.into_iter().sum()
+    }
+
+    /// Runs `ticks` live ticks — plus, when `finish` is set, the
+    /// end-of-stream drain — as one **session-major batch**: within each
+    /// shard every session is advanced through the whole batch before
+    /// the next session is touched, so fleet state streams from memory
+    /// once per batch instead of once per tick. Sessions are independent,
+    /// so the result (every decision, [`decisions`](Self::decisions),
+    /// [`digest`](Self::digest)) is bit-identical to calling
+    /// [`tick`](Self::tick) `ticks` times then [`finish`](Self::finish)
+    /// — pinned by proptests — for any thread count. This is the
+    /// throughput path; lockstep consumers (the mux adapter) need the
+    /// per-tick barrier and use [`tick`](Self::tick). Returns the number
+    /// of decisions made.
+    ///
+    /// # Panics
+    ///
+    /// Panics after [`finish`](Self::finish).
+    pub fn run<S: SizeSource>(
+        &mut self,
+        source: &S,
+        ticks: u64,
+        finish: bool,
+        threads: usize,
+    ) -> u64 {
+        assert!(!self.ended, "tick after finish");
+        let classes = &self.classes;
+        let shards = &self.shards;
+        let idx: Vec<usize> = (0..shards.len()).collect();
+        let made = par_map(threads, &idx, |_, &s| {
+            let mut shard = shards[s].lock().expect("shard poisoned");
+            shard.advance_batch(classes, source, ticks, finish)
+        });
+        self.ticks += ticks;
+        self.ended = finish;
+        made.into_iter().sum()
+    }
+
+    /// Serial [`tick`](Self::tick) that also hands every decision to
+    /// `sink(session_id, schedule)` — the adapter path (see [`mux`]).
+    pub fn tick_serial_with<S: SizeSource>(
+        &mut self,
+        source: &S,
+        sink: &mut impl FnMut(u64, &PictureSchedule),
+    ) -> u64 {
+        assert!(!self.ended, "tick after finish");
+        let classes = &self.classes;
+        let mut made = 0;
+        for shard in &mut self.shards {
+            let shard = shard.get_mut().expect("unshared");
+            made += shard.advance(classes, source, true, false, sink);
+        }
+        self.ticks += 1;
+        made
+    }
+
+    /// Serial [`finish`](Self::finish) with a decision sink.
+    pub fn finish_serial_with<S: SizeSource>(
+        &mut self,
+        source: &S,
+        sink: &mut impl FnMut(u64, &PictureSchedule),
+    ) -> u64 {
+        let classes = &self.classes;
+        let mut made = 0;
+        for shard in &mut self.shards {
+            let shard = shard.get_mut().expect("unshared");
+            made += shard.advance(classes, source, false, true, sink);
+        }
+        self.ended = true;
+        made
+    }
+
+    /// Whether [`finish`](Self::finish) has run.
+    pub fn is_finished(&self) -> bool {
+        self.ended
+    }
+
+    /// One FNV-1a fingerprint over every session's decision digest, in
+    /// session-id order — equal iff every decision of every session is
+    /// bit-identical. The determinism witness the proptests compare
+    /// across thread counts and shard sizes.
+    pub fn digest(&self) -> u64 {
+        let mut d = FNV_OFFSET;
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard poisoned");
+            for &x in &shard.digest {
+                d = fnv(d, x);
+            }
+        }
+        d
+    }
+
+    /// Per-session decision digests, in session-id order.
+    pub fn session_digests(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.sessions);
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard poisoned");
+            out.extend_from_slice(&shard.digest);
+        }
+        out
+    }
+
+    /// Peak retained history length across all sessions (diagnostics for
+    /// the memory-bound tests).
+    pub fn max_retained(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock().expect("shard poisoned");
+                shard.len.iter().map(|&l| l as usize).max().unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_engine(shard_size: usize) -> (SessionEngine, SyntheticFleet) {
+        let pattern = GopPattern::new(3, 9).unwrap();
+        let class = SessionClass::new(SmootherParams::at_30fps(0.2, 1, 9).unwrap(), pattern);
+        let mut engine = SessionEngine::with_shard_size(vec![class], shard_size);
+        engine.add_sessions(0, 50);
+        (
+            engine,
+            SyntheticFleet {
+                seed: 0xfeed,
+                pattern,
+            },
+        )
+    }
+
+    #[test]
+    fn every_session_decides_every_picture() {
+        let (mut engine, fleet) = small_engine(16);
+        for _ in 0..40 {
+            engine.tick(&fleet, 1);
+        }
+        engine.finish(&fleet, 1);
+        assert_eq!(engine.decisions(), 40 * 50);
+        assert_eq!(engine.ticks(), 40);
+    }
+
+    #[test]
+    fn digest_is_shard_and_thread_invariant() {
+        let (mut a, fleet) = small_engine(SESSIONS_PER_SHARD);
+        for _ in 0..25 {
+            a.tick(&fleet, 1);
+        }
+        a.finish(&fleet, 1);
+        for shard_size in [1, 3, 7, 64] {
+            for threads in [1, 2, 5] {
+                let (mut b, fleet) = small_engine(shard_size);
+                for _ in 0..25 {
+                    b.tick(&fleet, threads);
+                }
+                b.finish(&fleet, threads);
+                assert_eq!(
+                    a.digest(),
+                    b.digest(),
+                    "shard_size={shard_size} threads={threads}"
+                );
+                assert_eq!(a.session_digests(), b.session_digests());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_run_matches_tick_loop() {
+        let (mut a, fleet) = small_engine(16);
+        for _ in 0..33 {
+            a.tick(&fleet, 1);
+        }
+        a.finish(&fleet, 1);
+        for threads in [1, 4] {
+            let (mut b, fleet) = small_engine(16);
+            b.run(&fleet, 33, true, threads);
+            assert_eq!(a.digest(), b.digest(), "threads={threads}");
+            assert_eq!(a.decisions(), b.decisions());
+            assert_eq!(a.ticks(), b.ticks());
+            assert!(b.is_finished());
+        }
+    }
+
+    #[test]
+    fn history_stays_inside_the_fixed_slot() {
+        let (mut engine, fleet) = small_engine(8);
+        let cap = engine.class_ring_cap(0);
+        for _ in 0..500 {
+            engine.tick(&fleet, 1);
+            assert!(engine.max_retained() <= cap);
+        }
+        // The slot is O(H + N + K + D/τ) — nowhere near 500 pictures.
+        assert!(cap < 128, "ring cap {cap}");
+    }
+
+    #[test]
+    #[should_panic(expected = "tick after finish")]
+    fn tick_after_finish_panics() {
+        let (mut engine, fleet) = small_engine(8);
+        engine.finish(&fleet, 1);
+        engine.tick(&fleet, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "before ticking")]
+    fn late_add_panics() {
+        let (mut engine, fleet) = small_engine(8);
+        engine.tick(&fleet, 1);
+        engine.add_sessions(0, 1);
+    }
+}

@@ -1,0 +1,388 @@
+//! Feeding a session fleet's rate schedules into the netsim multiplexer
+//! **without materializing a [`StepFunction`] per source**.
+//!
+//! The offline pipeline builds, for every source, a
+//! [`smooth_core::SmoothingResult`], turns it into maximal rate segments
+//! ([`smooth_core::SmoothingResult::rate_segments`]) and then into a
+//! [`StepFunction`] — O(pictures) memory *per source*, which defeats the
+//! engine's bounded-memory story at a million sessions. This module
+//! replaces the materialized functions with lazy [`RateCursor`]s:
+//!
+//! * a shared [`Driver`] owns the [`SessionEngine`] and, per session, a
+//!   tiny streaming builder replicating the exact two-stage transform
+//!   `rate_segments` ∘ `StepFunction::from_segments` (same `TIME_EPS`
+//!   merge, same `1e-12` gap threshold, in the same order — so the
+//!   emitted breakpoint/value stream is bit-identical to the offline
+//!   pipeline's, pinned by tests);
+//! * an [`EngineCursor`] per session exposes that stream through the
+//!   [`RateCursor`] protocol, pumping the engine one lockstep tick at a
+//!   time — only when the k-way merge actually needs a breakpoint that
+//!   has not been decided yet.
+//!
+//! Because [`smooth_netsim::sweep_cursors`]'s pop order is deterministic
+//! for any cursor backing, [`mux_sessions`] is bit-identical to
+//! materializing every schedule and calling [`RateSweep::run`].
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use smooth_core::{PictureSchedule, RateSegment, TIME_EPS};
+use smooth_metrics::{RateCursor, StepFunction};
+use smooth_netsim::{sweep::RateSweep, FluidMuxStats};
+
+use crate::{SessionEngine, SizeSource};
+
+/// Streaming replica of `rate_segments` ∘ `StepFunction::from_segments`
+/// for one session: decisions go in, the step function's breakpoint and
+/// value arrays come out, bit-identical to the offline pipeline.
+#[derive(Debug, Clone, Default)]
+struct SessionBuilder {
+    /// End of the last *raw* (pre-merge) segment — the previous
+    /// picture's departure, which gates zero-rate gap insertion.
+    prev_end: Option<f64>,
+    /// The pending merged segment (maximal so far, not yet emitted).
+    cur: Option<RateSegment>,
+    breaks: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl SessionBuilder {
+    /// One decision: replicate `rate_segments`' gap insertion, then its
+    /// equal-rate merge, emitting only segments that can no longer grow.
+    fn decision(&mut self, d: &PictureSchedule) {
+        if let Some(prev_end) = self.prev_end {
+            if d.start > prev_end + TIME_EPS {
+                self.raw(RateSegment {
+                    start: prev_end,
+                    end: d.start,
+                    rate: 0.0,
+                });
+            }
+        }
+        self.raw(RateSegment {
+            start: d.start,
+            end: d.depart,
+            rate: d.rate,
+        });
+        self.prev_end = Some(d.depart);
+    }
+
+    fn raw(&mut self, seg: RateSegment) {
+        if let Some(cur) = &mut self.cur {
+            if cur.rate == seg.rate && (seg.start - cur.end).abs() <= TIME_EPS {
+                cur.end = seg.end;
+                return;
+            }
+            let done = *cur;
+            self.cur = Some(seg);
+            self.emit(done);
+        } else {
+            self.cur = Some(seg);
+        }
+    }
+
+    /// Streaming `StepFunction::from_segments`: same `1e-12` gap pieces,
+    /// same skip of non-advancing segments.
+    fn emit(&mut self, seg: RateSegment) {
+        if self.breaks.is_empty() {
+            self.breaks.push(seg.start);
+        }
+        let last = *self.breaks.last().expect("non-empty");
+        if seg.start > last + 1e-12 {
+            self.values.push(0.0);
+            self.breaks.push(seg.start);
+        }
+        if seg.end > *self.breaks.last().expect("non-empty") {
+            self.values.push(seg.rate);
+            self.breaks.push(seg.end);
+        }
+    }
+
+    /// End of stream: flush the pending segment; a session that never
+    /// decided anything becomes [`StepFunction::zero`]'s arrays.
+    fn finish(&mut self) {
+        if let Some(cur) = self.cur.take() {
+            self.emit(cur);
+        }
+        if self.breaks.is_empty() {
+            self.breaks.extend([0.0, 0.0]);
+            self.values.push(0.0);
+        }
+    }
+}
+
+/// Shared pump: owns the engine and every session's builder; ticks the
+/// fleet in lockstep (serially — the cursors are consumed by a serial
+/// merge) whenever any cursor needs more of its stream.
+struct Driver<S: SizeSource> {
+    engine: SessionEngine,
+    source: S,
+    pictures_left: u64,
+    builders: Vec<SessionBuilder>,
+    done: bool,
+}
+
+impl<S: SizeSource> Driver<S> {
+    /// Advances the whole fleet by one tick (or, once the pictures are
+    /// exhausted, finishes it and flushes every builder).
+    fn pump(&mut self) {
+        if self.done {
+            return;
+        }
+        let Driver {
+            engine,
+            source,
+            pictures_left,
+            builders,
+            done,
+        } = self;
+        if *pictures_left > 0 {
+            engine.tick_serial_with(source, &mut |sid, d| builders[sid as usize].decision(d));
+            *pictures_left -= 1;
+        } else {
+            engine.finish_serial_with(source, &mut |sid, d| builders[sid as usize].decision(d));
+            for b in builders.iter_mut() {
+                b.finish();
+            }
+            *done = true;
+        }
+    }
+}
+
+/// A lazy [`RateCursor`] over one session's rate schedule. Replicates
+/// [`smooth_metrics::StepCursor`]'s index semantics exactly over the
+/// session's (growing) breakpoint array; whenever the index would run
+/// off the known prefix it pumps the shared [`Driver`] until the stream
+/// extends or ends — so every observable (`value`, `next_break`) is the
+/// value a `StepCursor` over the fully materialized function would give.
+pub struct EngineCursor<S: SizeSource> {
+    driver: Rc<RefCell<Driver<S>>>,
+    sid: usize,
+    /// Number of known breaks `<=` the cursor's time (StepCursor's idx).
+    idx: usize,
+}
+
+impl<S: SizeSource> EngineCursor<S> {
+    /// Pumps until break `idx` exists or the stream is complete.
+    fn ensure(&self, idx: usize) {
+        loop {
+            {
+                let d = self.driver.borrow();
+                if idx < d.builders[self.sid].breaks.len() || d.done {
+                    return;
+                }
+            }
+            self.driver.borrow_mut().pump();
+        }
+    }
+}
+
+impl<S: SizeSource> RateCursor for EngineCursor<S> {
+    fn value(&self) -> f64 {
+        let d = self.driver.borrow();
+        let b = &d.builders[self.sid];
+        if self.idx == 0 || self.idx > b.values.len() {
+            0.0
+        } else {
+            b.values[self.idx - 1]
+        }
+    }
+
+    fn next_break(&mut self) -> Option<f64> {
+        self.ensure(self.idx);
+        let d = self.driver.borrow();
+        d.builders[self.sid].breaks.get(self.idx).copied()
+    }
+
+    fn advance_past(&mut self, t: f64) {
+        loop {
+            {
+                let d = self.driver.borrow();
+                let b = &d.builders[self.sid];
+                while self.idx < b.breaks.len() && b.breaks[self.idx] <= t {
+                    self.idx += 1;
+                }
+                // Unambiguous only once a break beyond `t` is known (or
+                // the stream ended): otherwise `value()` could read a
+                // piece that a later emit would extend.
+                if self.idx < b.breaks.len() || d.done {
+                    return;
+                }
+            }
+            self.driver.borrow_mut().pump();
+        }
+    }
+}
+
+/// Multiplexes a whole session fleet through the k-way-merge sweep,
+/// streaming every session's schedule out of the engine on demand —
+/// per-source memory is the session's bounded engine state plus its
+/// emitted breakpoints, never a materialized trace.
+///
+/// `engine` must be freshly built (no ticks yet); it is advanced
+/// `pictures` lockstep ticks and then finished, exactly like
+/// [`materialize_schedules`] — to whose
+/// `RateSweep::run` result this is bit-identical.
+///
+/// # Panics
+///
+/// Panics if the engine has already been ticked or finished, or on the
+/// sweep's own parameter checks.
+pub fn mux_sessions<S: SizeSource>(
+    engine: SessionEngine,
+    source: S,
+    pictures: u64,
+    sweep: &RateSweep,
+    t_start: f64,
+    t_end: f64,
+) -> FluidMuxStats {
+    assert!(
+        engine.ticks() == 0 && !engine.is_finished(),
+        "mux_sessions needs a fresh engine"
+    );
+    let sessions = engine.session_count();
+    let driver = Rc::new(RefCell::new(Driver {
+        engine,
+        source,
+        pictures_left: pictures,
+        builders: vec![SessionBuilder::default(); sessions],
+        done: false,
+    }));
+    let mut cursors: Vec<EngineCursor<S>> = (0..sessions)
+        .map(|sid| EngineCursor {
+            driver: Rc::clone(&driver),
+            sid,
+            idx: 0,
+        })
+        .collect();
+    for cursor in &mut cursors {
+        cursor.advance_past(t_start);
+    }
+    sweep.run_cursors(&mut cursors, t_start, t_end)
+}
+
+/// The materializing reference path: runs the same fleet to completion
+/// and returns each session's rate schedule as a [`StepFunction`] (built
+/// by the same streaming transform). Costs O(pictures) memory per
+/// session — the thing [`mux_sessions`] avoids — but is what the
+/// equality tests multiplex through [`RateSweep::run`].
+pub fn materialize_schedules<S: SizeSource>(
+    mut engine: SessionEngine,
+    source: S,
+    pictures: u64,
+) -> Vec<StepFunction> {
+    assert!(
+        engine.ticks() == 0 && !engine.is_finished(),
+        "materialize_schedules needs a fresh engine"
+    );
+    let mut builders = vec![SessionBuilder::default(); engine.session_count()];
+    for _ in 0..pictures {
+        engine.tick_serial_with(&source, &mut |sid, d| builders[sid as usize].decision(d));
+    }
+    engine.finish_serial_with(&source, &mut |sid, d| builders[sid as usize].decision(d));
+    builders
+        .into_iter()
+        .map(|mut b| {
+            b.finish();
+            StepFunction::new(b.breaks, b.values)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SessionClass, SyntheticFleet};
+    use smooth_core::{OnlineSmoother, SmootherParams, SmoothingResult};
+    use smooth_mpeg::GopPattern;
+
+    fn fleet_setup(sessions: usize) -> (SessionEngine, SyntheticFleet) {
+        let pattern = GopPattern::new(3, 9).unwrap();
+        let class = SessionClass::new(SmootherParams::at_30fps(0.2, 1, 9).unwrap(), pattern);
+        let mut engine = SessionEngine::with_shard_size(vec![class], 7);
+        engine.add_sessions(0, sessions);
+        (engine, SyntheticFleet { seed: 99, pattern })
+    }
+
+    /// The streaming builder must reproduce the offline
+    /// `rate_segments` → `from_segments` pipeline bit-for-bit.
+    #[test]
+    fn builder_matches_offline_pipeline_bitwise() {
+        let (_, fleet) = fleet_setup(1);
+        let pattern = fleet.pattern;
+        let params = SmootherParams::at_30fps(0.2, 1, 9).unwrap();
+        for pictures in [1usize, 5, 27, 100] {
+            let mut online = OnlineSmoother::new(params, pattern);
+            let mut builder = SessionBuilder::default();
+            let mut schedule = Vec::new();
+            for p in 0..pictures {
+                for d in online.push(fleet.size(0, p as u64)) {
+                    builder.decision(&d);
+                    schedule.push(d);
+                }
+            }
+            for d in online.finish() {
+                builder.decision(&d);
+                schedule.push(d);
+            }
+            builder.finish();
+            let offline_result = SmoothingResult { params, schedule };
+            let offline = StepFunction::from_segments(&offline_result.rate_segments());
+            let streamed = StepFunction::new(builder.breaks, builder.values);
+            assert_eq!(
+                offline.breakpoints().len(),
+                streamed.breakpoints().len(),
+                "pictures={pictures}"
+            );
+            for (a, b) in offline.breakpoints().iter().zip(streamed.breakpoints()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "pictures={pictures}");
+            }
+            for ((_, _, a), (_, _, b)) in offline.pieces().zip(streamed.pieces()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "pictures={pictures}");
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_mux_matches_materialized_run_bitwise() {
+        let sweep = RateSweep {
+            capacity_bps: 40.0e6,
+            buffer_bits: 0.5e6,
+        };
+        for sessions in [1usize, 4, 23] {
+            let (engine, fleet) = fleet_setup(sessions);
+            let inputs = materialize_schedules(engine, fleet, 40);
+            let t_end = inputs.iter().map(|f| f.domain_end()).fold(0.0, f64::max);
+            let want = sweep.run(&inputs, 0.0, t_end);
+
+            let (engine, fleet) = fleet_setup(sessions);
+            let got = mux_sessions(engine, fleet, 40, &sweep, 0.0, t_end);
+            assert_eq!(want.arrived_bits.to_bits(), got.arrived_bits.to_bits());
+            assert_eq!(want.lost_bits.to_bits(), got.lost_bits.to_bits());
+            assert_eq!(want.served_bits.to_bits(), got.served_bits.to_bits());
+            assert_eq!(want.max_queue_bits.to_bits(), got.max_queue_bits.to_bits());
+            assert_eq!(want.utilization.to_bits(), got.utilization.to_bits());
+        }
+    }
+
+    #[test]
+    fn partial_window_and_degenerate_window_agree() {
+        let sweep = RateSweep {
+            capacity_bps: 10.0e6,
+            buffer_bits: 0.2e6,
+        };
+        let (engine, fleet) = fleet_setup(6);
+        let inputs = materialize_schedules(engine, fleet, 30);
+        for (a, b) in [(0.3, 0.9), (0.5, 0.5), (-1.0, 2.0)] {
+            let want = sweep.run(&inputs, a, b);
+            let (engine, fleet) = fleet_setup(6);
+            let got = mux_sessions(engine, fleet, 30, &sweep, a, b);
+            assert_eq!(
+                want.served_bits.to_bits(),
+                got.served_bits.to_bits(),
+                "window [{a}, {b}]"
+            );
+            assert_eq!(want.utilization.to_bits(), got.utilization.to_bits());
+        }
+    }
+}

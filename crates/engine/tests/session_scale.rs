@@ -1,0 +1,105 @@
+//! Scale smoke test: one million concurrent live sessions.
+//!
+//! The tentpole claim — a single process advancing a megasession fleet
+//! in lockstep ticks with bounded per-session memory — asserted end to
+//! end: 1M sessions × 32 pictures decide inside the CI budget (release
+//! builds only; debug builds run a 10k-session variant with no runtime
+//! budget), every session's history stays inside its fixed ring slot,
+//! and a sharded multi-thread run of a 100k sub-fleet reproduces the
+//! serial digests bit for bit.
+
+use std::time::Instant;
+
+use smooth_core::SmootherParams;
+use smooth_engine::{SessionClass, SessionEngine, SyntheticFleet};
+use smooth_mpeg::GopPattern;
+
+fn paper_class() -> SessionClass {
+    let pattern = GopPattern::new(3, 9).unwrap();
+    SessionClass::new(SmootherParams::at_30fps(0.2, 1, 9).unwrap(), pattern)
+}
+
+#[test]
+fn million_session_fleet_decides_within_budget() {
+    let sessions: usize = if cfg!(debug_assertions) {
+        10_000
+    } else {
+        1_000_000
+    };
+    let ticks = 32u64;
+    let class = paper_class();
+    let pattern = class.pattern;
+    let mut engine = SessionEngine::new(vec![class]);
+    engine.add_sessions(0, sessions);
+    let fleet = SyntheticFleet {
+        seed: 0x5e551045,
+        pattern,
+    };
+
+    let cap = engine.class_ring_cap(0);
+    let t0 = Instant::now();
+    for _ in 0..ticks {
+        engine.tick(&fleet, 1);
+    }
+    engine.finish(&fleet, 1);
+    let wall = t0.elapsed().as_secs_f64();
+
+    // Lockstep completeness: every session decided every picture.
+    assert_eq!(engine.decisions(), sessions as u64 * ticks);
+
+    // Bounded memory: the per-session slot is a small constant (O(H + N
+    // + K + D/τ)), and no session ever outgrew it.
+    assert!(cap < 128, "ring cap {cap} is not a small constant");
+    assert!(engine.max_retained() <= cap);
+
+    // Runtime budget, release only: 32M decisions well inside a minute.
+    if !cfg!(debug_assertions) {
+        assert!(
+            wall < 60.0,
+            "{sessions} sessions x {ticks} ticks took {wall:.1} s — budget is 60 s"
+        );
+    }
+}
+
+#[test]
+fn sharded_parallel_subfleet_reproduces_serial_digests() {
+    let sessions: usize = if cfg!(debug_assertions) {
+        5_000
+    } else {
+        100_000
+    };
+    let ticks = 32u64;
+    let class = paper_class();
+    let pattern = class.pattern;
+    let fleet = SyntheticFleet {
+        seed: 0x5e551045,
+        pattern,
+    };
+
+    let mut serial = SessionEngine::new(vec![class.clone()]);
+    serial.add_sessions(0, sessions);
+    for _ in 0..ticks {
+        serial.tick(&fleet, 1);
+    }
+    serial.finish(&fleet, 1);
+
+    let mut sharded = SessionEngine::new(vec![class]);
+    sharded.add_sessions(0, sessions);
+    for _ in 0..ticks {
+        sharded.tick(&fleet, 4);
+    }
+    sharded.finish(&fleet, 4);
+
+    assert_eq!(serial.digest(), sharded.digest());
+    assert_eq!(serial.session_digests(), sharded.session_digests());
+    assert_eq!(serial.decisions(), sharded.decisions());
+
+    // The session-major batched driver (what the throughput harness
+    // times) reproduces the lockstep bits too.
+    let mut batched = SessionEngine::new(vec![paper_class()]);
+    batched.add_sessions(0, sessions);
+    batched.run(&fleet, ticks, true, 4);
+    assert_eq!(serial.digest(), batched.digest());
+    assert_eq!(serial.session_digests(), batched.session_digests());
+    assert_eq!(serial.decisions(), batched.decisions());
+}

@@ -12,6 +12,7 @@
 //!                      [--threads N] [--csv out.csv] \
 //!                      [--sources N] [--capacity-mbps C] [--buffer-kbit B] [--mux-seed S]
 //! mpeg-smooth verify   --trace trace.csv --d 0.2 --k 1 --h 9
+//! mpeg-smooth sessions [--sessions N] [--pictures N] [--threads N] [--seed S]
 //! ```
 //!
 //! All functions take an output sink so the test suite can drive the CLI
@@ -110,6 +111,7 @@ usage:
                        [--h <h1,h2,...>] [--threads N] [--csv <out.csv>]
                        [--sources N] [--capacity-mbps C] [--buffer-kbit B] [--mux-seed S]
   mpeg-smooth verify   --trace <trace.csv> --d <seconds> [--k K] [--h H]
+  mpeg-smooth sessions [--sessions N] [--pictures N] [--threads N] [--seed S]
   mpeg-smooth help
 ";
 
@@ -125,6 +127,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
         "smooth" => cmd_smooth(rest, out),
         "sweep" => cmd_sweep(rest, out),
         "verify" => cmd_verify(rest, out),
+        "sessions" => cmd_sessions(rest, out),
         "help" | "--help" | "-h" => {
             let _ = write!(out, "{USAGE}");
             Ok(0)
@@ -532,6 +535,68 @@ fn cmd_sweep(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
     Ok(0)
 }
 
+/// `sessions`: advance a fleet of concurrent live smoothing sessions
+/// (synthetic picture sizes, the paper-recommended class) through the
+/// session engine and report aggregate throughput plus the decision
+/// digest — the determinism witness, identical for every thread count.
+fn cmd_sessions(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
+    use smooth_engine::{SessionClass, SessionEngine, SyntheticFleet};
+
+    let mut opts = Options::parse(args)?;
+    let sessions = opts.take_parsed::<usize>("sessions")?.unwrap_or(10_000);
+    let pictures = opts.take_parsed::<u64>("pictures")?.unwrap_or(32);
+    let threads = smooth_sweep::resolve_threads(opts.take_parsed::<usize>("threads")?);
+    let seed = opts.take_parsed::<u64>("seed")?.unwrap_or(0x5e55be7c);
+    opts.finish()?;
+    if sessions == 0 {
+        return Err(err("--sessions: must be at least 1"));
+    }
+    if pictures == 0 {
+        return Err(err("--pictures: must be at least 1"));
+    }
+
+    let pattern = smooth_mpeg::GopPattern::new(3, 9).expect("(3,9) is valid");
+    let params = SmootherParams::at_30fps(0.2, 1, 9).expect("0.2 s is feasible");
+    let class = SessionClass::new(params, pattern);
+    let fleet = SyntheticFleet { seed, pattern };
+    let mut engine = SessionEngine::new(vec![class]);
+    engine.add_sessions(0, sessions);
+    let cap = engine.class_ring_cap(0);
+
+    let t0 = std::time::Instant::now();
+    engine.run(&fleet, pictures, true, threads);
+    let wall = t0.elapsed().as_secs_f64();
+    let decisions = engine.decisions();
+    let rate = if wall > 0.0 {
+        decisions as f64 / wall
+    } else {
+        0.0
+    };
+
+    let _ = writeln!(
+        out,
+        "sessions: {sessions} concurrent x {pictures} pictures (seed {seed:#x})"
+    );
+    let _ = writeln!(
+        out,
+        "class: D={:.4}s K={} H={} pattern {pattern}, ring slot {cap} sizes/session",
+        params.delay_bound, params.k, params.h
+    );
+    let _ = writeln!(
+        out,
+        "decisions: {decisions} (digest {:016x}, max retained {})",
+        engine.digest(),
+        engine.max_retained()
+    );
+    // Only this line may vary between runs; the determinism tests strip
+    // lines containing "thread(s)".
+    let _ = writeln!(
+        out,
+        "throughput: {rate:.0} decisions/s on {threads} thread(s) ({wall:.3}s)"
+    );
+    Ok(0)
+}
+
 fn cmd_verify(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
     let mut opts = Options::parse(args)?;
     let trace = load_trace(&mut opts)?;
@@ -935,6 +1000,86 @@ mod tests {
             vec!["sweep", "--trace", trace_path.as_str()],
             vec!["sweep", "--trace", &trace_path, "--d", "abc"],
             vec!["sweep", "--trace", &trace_path, "--d", "0.001"],
+        ] {
+            let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            let mut out = Vec::new();
+            assert!(run(&args, &mut out).is_err(), "{args:?}");
+        }
+    }
+
+    #[test]
+    fn sessions_reports_fleet_and_digest() {
+        let (code, text) = run_cli(&[
+            "sessions",
+            "--sessions",
+            "500",
+            "--pictures",
+            "20",
+            "--threads",
+            "1",
+        ]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("500 concurrent x 20 pictures"), "{text}");
+        // Lockstep completeness: every session decides every picture.
+        assert!(text.contains("decisions: 10000"), "{text}");
+        assert!(text.contains("digest"), "{text}");
+        assert!(text.contains("ring slot"), "{text}");
+    }
+
+    #[test]
+    fn sessions_output_is_thread_count_invariant() {
+        let base = ["sessions", "--sessions", "300", "--pictures", "25"];
+        let run_with = |threads: &str| {
+            let mut args: Vec<&str> = base.to_vec();
+            args.extend(["--threads", threads]);
+            run_cli(&args)
+        };
+        let (code, serial) = run_with("1");
+        assert_eq!(code, 0);
+        for threads in ["2", "8"] {
+            let (code, parallel) = run_with(threads);
+            assert_eq!(code, 0);
+            let strip = |s: &str| {
+                s.lines()
+                    .filter(|l| !l.contains("thread(s)"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            assert_eq!(strip(&serial), strip(&parallel), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sessions_seed_changes_the_digest() {
+        let digest_line = |seed: &str| {
+            let (code, text) = run_cli(&[
+                "sessions",
+                "--sessions",
+                "64",
+                "--pictures",
+                "15",
+                "--seed",
+                seed,
+                "--threads",
+                "1",
+            ]);
+            assert_eq!(code, 0, "{text}");
+            text.lines()
+                .find(|l| l.contains("digest"))
+                .expect("digest line")
+                .to_string()
+        };
+        assert_ne!(digest_line("1"), digest_line("2"));
+        assert_eq!(digest_line("7"), digest_line("7"));
+    }
+
+    #[test]
+    fn sessions_rejects_degenerate_counts() {
+        for args in [
+            vec!["sessions", "--sessions", "0"],
+            vec!["sessions", "--pictures", "0"],
+            vec!["sessions", "--sessions", "abc"],
+            vec!["sessions", "--wat", "1"],
         ] {
             let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
             let mut out = Vec::new();

@@ -27,7 +27,11 @@
 //!   smoothness measures;
 //! * [`netsim`] (`smooth-netsim`) — an ATM-style packetizer and
 //!   finite-buffer multiplexer demonstrating the statistical-multiplexing
-//!   motivation.
+//!   motivation;
+//! * [`engine`] (`smooth-engine`) — the million-session fleet engine:
+//!   up to 1M concurrent live smoothing sessions advanced in lockstep
+//!   picture ticks with bounded per-session memory (the `sessions` CLI
+//!   subcommand drives it).
 //!
 //! ## Sixty seconds to smoothed video
 //!
@@ -56,6 +60,7 @@
 pub mod cli;
 
 pub use smooth_core as core;
+pub use smooth_engine as engine;
 pub use smooth_metrics as metrics;
 pub use smooth_mpeg as mpeg;
 pub use smooth_netsim as netsim;

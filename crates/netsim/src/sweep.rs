@@ -46,7 +46,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use smooth_metrics::{StepCursor, StepFunction};
+use smooth_metrics::{RateCursor, StepCursor, StepFunction};
 use smooth_sweep::{par_map, ShardPlan, SumTree};
 
 use crate::mux::FluidMuxStats;
@@ -111,6 +111,34 @@ impl RateSweep {
 
         let mut state = QueueState::new();
         sweep_intervals(&partials, plan.count, t_start, t_end, |agg, a, b| {
+            state.advance(agg, b - a, self.capacity_bps, self.buffer_bits);
+        });
+        state.into_stats(self.capacity_bps, t_start, t_end)
+    }
+
+    /// Runs the sweep over already-seated forward [`RateCursor`]s —
+    /// sources produced on the fly (per-session schedules streaming out
+    /// of the `smooth-engine` session engine) instead of materialized
+    /// [`StepFunction`]s. Each cursor must be seated at `t_start`
+    /// (`advance_past(t_start)`) before the call.
+    ///
+    /// For cursors backed by step functions this is bit-identical to
+    /// [`RateSweep::run`]: both drive the same merge over the same
+    /// [`SumTree`] (pinned by a unit test below).
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacity is non-positive or the buffer is negative.
+    pub fn run_cursors<C: RateCursor>(
+        &self,
+        cursors: &mut [C],
+        t_start: f64,
+        t_end: f64,
+    ) -> FluidMuxStats {
+        self.check();
+        let leaves = cursors.len();
+        let mut state = QueueState::new();
+        sweep_cursors(cursors, leaves, t_start, t_end, |agg, a, b| {
             state.advance(agg, b - a, self.capacity_bps, self.buffer_bits);
         });
         state.into_stats(self.capacity_bps, t_start, t_end)
@@ -191,23 +219,43 @@ fn sweep_intervals(
     tree_leaves: usize,
     t_start: f64,
     t_end: f64,
+    on_interval: impl FnMut(f64, f64, f64),
+) {
+    if t_end <= t_start {
+        return;
+    }
+    let mut cursors: Vec<StepCursor<'_>> = inputs.iter().map(|f| f.cursor_at(t_start)).collect();
+    sweep_cursors(&mut cursors, tree_leaves, t_start, t_end, on_interval);
+}
+
+/// [`sweep_intervals`] generalized over the cursor representation: the
+/// same merge, driven by any [`RateCursor`] implementation. Cursors must
+/// already be seated at `t_start`. For [`StepCursor`]s this is *the*
+/// serial engine (the step-function path above is a thin wrapper), so
+/// there is one merge loop to reason about, not two.
+///
+/// Pop order is deterministic regardless of heap insertion order:
+/// [`NextBreak`]'s ordering is total (time, then source index), so equal-
+/// time events drain in source order for any cursor backing.
+pub fn sweep_cursors<C: RateCursor>(
+    cursors: &mut [C],
+    tree_leaves: usize,
+    t_start: f64,
+    t_end: f64,
     mut on_interval: impl FnMut(f64, f64, f64),
 ) {
     if t_end <= t_start {
         return;
     }
     let mut tree = SumTree::new(tree_leaves);
-    let mut cursors: Vec<StepCursor<'_>> = Vec::with_capacity(inputs.len());
-    let mut heap: BinaryHeap<NextBreak> = BinaryHeap::with_capacity(inputs.len());
-    for (i, f) in inputs.iter().enumerate() {
-        let cursor = f.cursor_at(t_start);
+    let mut heap: BinaryHeap<NextBreak> = BinaryHeap::with_capacity(cursors.len());
+    for (i, cursor) in cursors.iter_mut().enumerate() {
         tree.set(i, cursor.value());
         if let Some(t) = cursor.next_break() {
             if t < t_end {
                 heap.push(NextBreak { t, src: i as u32 });
             }
         }
-        cursors.push(cursor);
     }
 
     let mut t = t_start;
@@ -428,6 +476,21 @@ mod tests {
             assert!(!stats.utilization.is_nan());
             let threaded = engine.run_threaded(&inputs, a, b, 8);
             assert_stats_bits_eq(&threaded, &stats, "degenerate window threaded");
+        }
+    }
+
+    #[test]
+    fn run_cursors_matches_run_bitwise() {
+        let engine = RateSweep {
+            capacity_bps: 4.0e6,
+            buffer_bits: 0.5e6,
+        };
+        let inputs = mixed_inputs();
+        for (a, b) in [(0.0, 3.0), (-1.0, 4.0), (0.6, 2.1), (2.9, 3.5), (1.0, 1.0)] {
+            let want = engine.run(&inputs, a, b);
+            let mut cursors: Vec<StepCursor<'_>> = inputs.iter().map(|f| f.cursor_at(a)).collect();
+            let got = engine.run_cursors(&mut cursors, a, b);
+            assert_stats_bits_eq(&got, &want, &format!("cursors on [{a}, {b}]"));
         }
     }
 

@@ -134,6 +134,53 @@ impl MuxThroughputRecord {
     }
 }
 
+/// One session-engine throughput measurement: how many aggregate
+/// picture decisions per second a fleet of concurrent live sessions
+/// sustains through lockstep ticks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionThroughputRecord {
+    /// Configuration label, e.g. `sessions_synthetic_S1000000`.
+    pub name: String,
+    /// Concurrent sessions in the fleet.
+    pub sessions: usize,
+    /// Lockstep ticks (pictures fed per session).
+    pub ticks: u64,
+    /// Total picture decisions made across the fleet.
+    pub decisions: u64,
+    /// Wall-clock seconds (min over repeats).
+    pub wall_seconds: f64,
+    /// `decisions / wall_seconds`.
+    pub decisions_per_second: f64,
+    /// Worker threads the measurement used (1 = serial).
+    pub threads: usize,
+}
+
+impl SessionThroughputRecord {
+    /// Builds a record from raw counts, deriving the rate.
+    pub fn new(
+        name: &str,
+        sessions: usize,
+        ticks: u64,
+        decisions: u64,
+        wall_seconds: f64,
+        threads: usize,
+    ) -> Self {
+        SessionThroughputRecord {
+            name: name.to_string(),
+            sessions,
+            ticks,
+            decisions,
+            wall_seconds,
+            decisions_per_second: if wall_seconds > 0.0 {
+                decisions as f64 / wall_seconds
+            } else {
+                0.0
+            },
+            threads,
+        }
+    }
+}
+
 /// The on-disk `BENCH_sweep.json` document.
 ///
 /// Fields added after the first release carry `#[serde(default)]` so old
@@ -160,6 +207,11 @@ pub struct SweepBenchReport {
     /// fields (`git_commit`, `thread_source`, `available_cores`).
     #[serde(default)]
     pub mux_throughput: Vec<MuxThroughputRecord>,
+    /// Session-engine throughput measurements (see
+    /// [`SessionThroughputRecord`]); shares the report-level provenance
+    /// fields.
+    #[serde(default)]
+    pub session_throughput: Vec<SessionThroughputRecord>,
     pub total_seconds: f64,
 }
 
@@ -181,6 +233,7 @@ impl SweepBenchReport {
             figures: Vec::new(),
             throughput: Vec::new(),
             mux_throughput: Vec::new(),
+            session_throughput: Vec::new(),
             total_seconds: 0.0,
         }
     }
@@ -193,6 +246,11 @@ impl SweepBenchReport {
     /// Appends a multiplexer-throughput measurement.
     pub fn record_mux_throughput(&mut self, record: MuxThroughputRecord) {
         self.mux_throughput.push(record);
+    }
+
+    /// Appends a session-engine throughput measurement.
+    pub fn record_session_throughput(&mut self, record: SessionThroughputRecord) {
+        self.session_throughput.push(record);
     }
 
     /// Times `f`, records it under `name`, and returns its output.
@@ -269,6 +327,14 @@ mod tests {
             Some(1.2),
             1,
         ));
+        report.record_session_throughput(SessionThroughputRecord::new(
+            "sessions_synthetic_S1000000",
+            1_000_000,
+            32,
+            32_000_000,
+            4.0,
+            1,
+        ));
         assert_eq!(report.figures.len(), 2);
         assert!(report.total_seconds >= 0.0);
         assert_eq!(report.thread_source, "env");
@@ -285,6 +351,10 @@ mod tests {
         assert_eq!(mux.sources, 1000);
         assert!((mux.events_per_sec - 16_000_000.0).abs() < 1e-3);
         assert!((mux.speedup.unwrap() - 300.0).abs() < 1e-9);
+        assert_eq!(back.session_throughput.len(), 1);
+        let sess = &back.session_throughput[0];
+        assert_eq!(sess.sessions, 1_000_000);
+        assert!((sess.decisions_per_second - 8_000_000.0).abs() < 1e-3);
     }
 
     #[test]
@@ -313,6 +383,7 @@ mod tests {
         assert_eq!(report.git_commit, "");
         assert!(report.throughput.is_empty());
         assert!(report.mux_throughput.is_empty());
+        assert!(report.session_throughput.is_empty());
     }
 
     #[test]
