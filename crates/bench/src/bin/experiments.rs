@@ -22,12 +22,15 @@
 //! ladder up to 10k — or at exactly `--sources N` when given) and
 //! session-engine throughput (aggregate decisions/sec for a fleet of
 //! concurrent live sessions, over a session ladder up to 1M — or at
-//! exactly `--sessions N` when given).
+//! exactly `--sessions N` when given) and a cores-vs-throughput scaling
+//! curve (the same fleet at a 1, 2, 4, … worker ladder with pinned
+//! workers and first-touch shard placement, recorded as `scaling[]`).
 
 use std::time::Instant;
 
 use smooth_bench::experiments;
 use smooth_bench::muxbench;
+use smooth_bench::scalebench;
 use smooth_bench::sessionbench;
 use smooth_bench::throughput;
 use smooth_sweep::bench::SweepBenchReport;
@@ -239,6 +242,30 @@ fn main() {
             record.threads
         );
         report.record_session_throughput(record);
+    }
+    println!();
+
+    // Cores-vs-throughput scaling: the megasession engine with
+    // cache-aware shard placement over a 1,2,4,… worker ladder (see
+    // crates/bench/src/scalebench.rs). On a 1-core box the curve is one
+    // point.
+    println!("==================== scaling ====================");
+    let scaling_records = match sessions_opt {
+        Some(sessions) => scalebench::scaling_suite(sessions, sessionbench::SESSION_TICKS),
+        None => scalebench::standard_scaling_suite(),
+    };
+    for record in scaling_records {
+        println!(
+            "{}: {:.0} decisions/s ({} sessions, T={}, {:.3}s, pinned={}, first_touch={})",
+            record.name,
+            record.decisions_per_second,
+            record.sessions,
+            record.threads,
+            record.wall_seconds,
+            record.pinned,
+            record.first_touch
+        );
+        report.record_scaling(record);
     }
     println!();
 

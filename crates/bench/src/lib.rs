@@ -18,6 +18,7 @@
 
 pub mod experiments;
 pub mod muxbench;
+pub mod scalebench;
 pub mod sessionbench;
 pub mod table;
 pub mod throughput;

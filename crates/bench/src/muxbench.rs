@@ -25,7 +25,7 @@ use smooth_rng::Rng;
 use smooth_sweep::bench::MuxThroughputRecord;
 use smooth_trace::SequenceId;
 
-use crate::throughput::best_of;
+use crate::throughput::{best_of, sample_of};
 
 /// Breakpoints per synthetic source.
 pub const SYNTHETIC_BREAKS: usize = 64;
@@ -83,7 +83,7 @@ fn measure(
         capacity_bps,
         buffer_bits,
     };
-    let dt = best_of(|| sweep.run_threaded(inputs, 0.0, t_end, threads));
+    let walls = sample_of(|| sweep.run_threaded(inputs, 0.0, t_end, threads));
     let reference_seconds = (inputs.len() <= REFERENCE_CEILING).then(|| {
         let fluid = FluidMux {
             capacity_bps,
@@ -91,11 +91,11 @@ fn measure(
         };
         best_of(|| mux::reference::run(&fluid, inputs, 0.0, t_end))
     });
-    MuxThroughputRecord::new(
+    MuxThroughputRecord::with_walls(
         name,
         inputs.len(),
         total_events(inputs),
-        dt,
+        &walls,
         reference_seconds,
         threads,
     )

@@ -1,0 +1,143 @@
+//! Cores-vs-throughput scaling: the megasession engine run at a ladder
+//! of worker counts with cache-aware shard placement.
+//!
+//! Each point builds a fresh fleet with
+//! [`smooth_engine::SessionEngine::add_sessions_placed`] — shards are
+//! constructed *by the worker that will later advance them* (first-touch
+//! placement, so on NUMA boxes a shard's pages land on its worker's
+//! node) — and times only [`smooth_engine::SessionEngine::run_pinned`],
+//! which stripes shards over workers statically (shard `s` → worker
+//! `s mod T`) and best-effort-pins worker `w` to CPU `w`. The static
+//! striping makes the assignment identical to construction, so every
+//! shard is advanced where it was built.
+//!
+//! The ladder is 1, 2, 4, … doubling up to the logical core count (the
+//! count itself is always included); on a 1-core box the curve is
+//! legitimately a single point. Records land in `BENCH_sweep.json` as
+//! `scaling[]` with pinning provenance, and the `mpeg-smooth scale`
+//! subcommand regenerates them standalone.
+
+use std::time::Instant;
+
+use smooth_engine::{SessionEngine, SyntheticFleet};
+use smooth_sweep::bench::ScalingRecord;
+use smooth_sweep::{logical_cores, pinning_supported};
+
+use crate::sessionbench::{session_class, SESSION_TICKS};
+use crate::throughput::MEASURE_REPEATS;
+
+/// Sessions in the standard scaling fleet.
+pub const SCALE_SESSIONS: usize = 1_000_000;
+
+/// The worker-count ladder: powers of two up to `max`, with `max`
+/// itself always included as the final rung.
+pub fn core_ladder(max: usize) -> Vec<usize> {
+    let max = max.max(1);
+    let mut ladder = Vec::new();
+    let mut t = 1;
+    while t < max {
+        ladder.push(t);
+        t *= 2;
+    }
+    ladder.push(max);
+    ladder
+}
+
+/// Times a `sessions`-session fleet through `ticks` lockstep ticks plus
+/// the finishing drain at `threads` pinned workers, min over `repeats`.
+/// Fleet construction (first-touch, by the advancing workers) is
+/// excluded from the timed region.
+pub fn measure_scale_point(
+    sessions: usize,
+    ticks: u64,
+    threads: usize,
+    repeats: usize,
+) -> ScalingRecord {
+    let class = session_class();
+    let fleet = SyntheticFleet {
+        seed: 0x5e55be7c,
+        pattern: class.pattern,
+    };
+    let mut walls = Vec::with_capacity(repeats);
+    let mut decisions = 0u64;
+    for _ in 0..repeats.max(1) {
+        let mut engine = SessionEngine::new(vec![class.clone()]);
+        engine.add_sessions_placed(0, sessions, threads);
+        let t0 = Instant::now();
+        engine.run_pinned(&fleet, ticks, true, threads);
+        walls.push(t0.elapsed().as_secs_f64());
+        std::hint::black_box(engine.digest());
+        decisions = engine.decisions();
+    }
+    ScalingRecord::with_walls(
+        &format!("scale_synthetic_S{sessions}"),
+        sessions,
+        ticks,
+        decisions,
+        &walls,
+        threads,
+        pinning_supported(),
+        true,
+    )
+}
+
+/// The full curve: one point per [`core_ladder`] rung at the box's
+/// logical core count.
+pub fn scaling_suite(sessions: usize, ticks: u64) -> Vec<ScalingRecord> {
+    core_ladder(logical_cores())
+        .into_iter()
+        .map(|threads| measure_scale_point(sessions, ticks, threads, MEASURE_REPEATS))
+        .collect()
+}
+
+/// The records `BENCH_sweep.json` carries by default: the standard
+/// 1M-session fleet at [`SESSION_TICKS`] ticks.
+pub fn standard_scaling_suite() -> Vec<ScalingRecord> {
+    scaling_suite(SCALE_SESSIONS, SESSION_TICKS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_doubles_and_always_ends_at_max() {
+        assert_eq!(core_ladder(1), vec![1]);
+        assert_eq!(core_ladder(2), vec![1, 2]);
+        assert_eq!(core_ladder(6), vec![1, 2, 4, 6]);
+        assert_eq!(core_ladder(8), vec![1, 2, 4, 8]);
+        assert_eq!(core_ladder(0), vec![1]);
+    }
+
+    #[test]
+    fn scale_point_measures_all_decisions() {
+        let rec = measure_scale_point(300, 8, 2, 1);
+        assert_eq!(rec.sessions, 300);
+        assert_eq!(rec.ticks, 8);
+        assert_eq!(rec.threads, 2);
+        assert_eq!(rec.decisions, 300 * 8);
+        assert!(rec.decisions_per_second > 0.0);
+        assert!(rec.first_touch);
+        assert_eq!(rec.name, "scale_synthetic_S300");
+    }
+
+    #[test]
+    fn pinned_point_matches_the_unpinned_engine_digest() {
+        // The scaling harness must measure the same computation the rest
+        // of the suite measures: placed construction + pinned run is
+        // bit-identical to plain construction + dynamic run.
+        let class = session_class();
+        let fleet = SyntheticFleet {
+            seed: 0x5e55be7c,
+            pattern: class.pattern,
+        };
+        let mut pinned = SessionEngine::new(vec![class.clone()]);
+        pinned.add_sessions_placed(0, 500, 3);
+        pinned.run_pinned(&fleet, 8, true, 3);
+        let mut plain = SessionEngine::new(vec![class]);
+        plain.add_sessions(0, 500);
+        plain.run(&fleet, 8, true, 2);
+        assert_eq!(pinned.digest(), plain.digest());
+        assert_eq!(pinned.decisions(), plain.decisions());
+    }
+}

@@ -67,39 +67,50 @@ pub fn throughput_params() -> SmootherParams {
 /// repeats is the standard noise-robust estimator of the true cost.
 pub const MEASURE_REPEATS: usize = 5;
 
+/// Runs `work` [`MEASURE_REPEATS`] times and returns every wall time in
+/// seconds, in run order — records headline the min and carry
+/// median/spread via [`ThroughputRecord::with_walls`]-style builders.
+pub(crate) fn sample_of<R>(mut work: impl FnMut() -> R) -> Vec<f64> {
+    (0..MEASURE_REPEATS)
+        .map(|_| {
+            let t0 = Instant::now();
+            let result = work();
+            let dt = t0.elapsed().as_secs_f64();
+            std::hint::black_box(&result);
+            dt
+        })
+        .collect()
+}
+
 /// Runs `work` [`MEASURE_REPEATS`] times and returns the fastest wall
 /// time in seconds.
-pub(crate) fn best_of<R>(mut work: impl FnMut() -> R) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..MEASURE_REPEATS {
-        let t0 = Instant::now();
-        let result = work();
-        let dt = t0.elapsed().as_secs_f64();
-        std::hint::black_box(&result);
-        if dt < best {
-            best = dt;
-        }
-    }
-    best
+pub(crate) fn best_of<R>(work: impl FnMut() -> R) -> f64 {
+    sample_of(work).into_iter().fold(f64::INFINITY, f64::min)
 }
 
 /// Times the incremental-engine hot path (serial, reused scratch).
 pub fn measure_engine(trace: &VideoTrace) -> ThroughputRecord {
     let params = throughput_params();
     let mut scratch = SmoothScratch::new();
-    let dt = best_of(|| smooth_with_scratch(trace, params, &mut scratch));
-    ThroughputRecord::new("hotpath_synthetic_1M_H32_engine", trace.len() as u64, dt, 1)
+    let walls = sample_of(|| smooth_with_scratch(trace, params, &mut scratch));
+    ThroughputRecord::with_walls(
+        "hotpath_synthetic_1M_H32_engine",
+        trace.len() as u64,
+        &walls,
+        1,
+    )
 }
 
 /// Times the pre-PR naive hot path (per-picture refill + walk-back).
 pub fn measure_reference(trace: &VideoTrace) -> ThroughputRecord {
     let params = throughput_params();
     let estimator = ReferencePatternEstimator::default();
-    let dt = best_of(|| smooth_reference_with(trace, params, &estimator, RateSelection::Basic));
-    ThroughputRecord::new(
+    let walls =
+        sample_of(|| smooth_reference_with(trace, params, &estimator, RateSelection::Basic));
+    ThroughputRecord::with_walls(
         "hotpath_synthetic_1M_H32_reference",
         trace.len() as u64,
-        dt,
+        &walls,
         1,
     )
 }

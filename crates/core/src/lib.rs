@@ -32,6 +32,7 @@
 //! | [`smoother`] | §4.4, Fig. 2 | the algorithm, offline driver, results |
 //! | [`estimate`] | §4.3–4.4 | pattern / oracle / default size estimators |
 //! | [`lookahead`] | — | incremental O(1)-per-picture lookahead window |
+//! | [`simd`] | — | explicit SSE2/AVX2 kernels with runtime dispatch |
 //! | [`reference`] | — | naive refill/walk-back oracles for the tests |
 //! | [`online`] | Fig. 1 | streaming `push`/`notify` interface |
 //! | [`baseline`] | §3.2 | ideal smoothing, unsmoothed sender |
@@ -39,7 +40,11 @@
 //! | [`verify`] | §4.2, Thm. 1 | independent audit of every guarantee |
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `unsafe` is denied everywhere except the explicit-SIMD kernels in
+// [`simd`], which scope an `allow` and justify every block; nested
+// unsafe operations always need their own block.
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod adaptive;
 pub mod baseline;
@@ -52,6 +57,7 @@ pub mod ott;
 pub mod params;
 pub mod receiver;
 pub mod reference;
+pub mod simd;
 pub mod smoother;
 pub mod verify;
 
@@ -73,6 +79,7 @@ pub use params::{ParamError, SmootherParams};
 pub use receiver::{
     client_buffer_at_bound, min_playback_offset, simulate_receiver, ReceiverReport,
 };
+pub use simd::SimdLevel;
 pub use smoother::{
     smooth, smooth_batch, smooth_with, smooth_with_scratch, BlockLanes, PictureSchedule,
     RateSegment, RateSelection, SmoothScratch, Smoother, SmoothingResult, TIME_EPS,

@@ -1,0 +1,1050 @@
+//! Explicit SIMD kernels for the bound-intersection loop, with runtime
+//! dispatch.
+//!
+//! [`bound_blocks8`] runs all full 8-lane blocks of one picture's rate
+//! bound intersection (paper eqs. 12–13). Three kernels implement the
+//! identical computation:
+//!
+//! * **scalar** — the portable fallback: fixed-trip elementwise passes
+//!   over a caller-owned [`BlockLanes`] buffer, written so LLVM
+//!   autovectorizes them (this is the pre-PR `bound_blocks8` verbatim,
+//!   and the only path on non-x86-64 targets);
+//! * **sse2** — explicit `std::arch` 2-lane kernel (`divpd` et al.),
+//!   always available on x86-64 (SSE2 is baseline);
+//! * **avx2** — explicit 4-lane kernel (`vdivpd ymm`), used when the CPU
+//!   reports AVX2 at runtime.
+//!
+//! Every kernel produces **bit-identical** results: IEEE packed division
+//! of the same operands gives the same bits as scalar division, the
+//! compare-select max/min instructions (`maxpd`/`minpd`: `src1 > src2 ?
+//! src1 : src2`) match [`sel_max`]/[`sel_min`] exactly, and every
+//! addition is either performed in the scalar chain's association or
+//! reassociated only under the `exact_prefix` contract (all operands
+//! integer-valued with partial sums < 2⁵³, so each addition is exact).
+//! The `simd_props` proptests pin each dispatch path against the scalar
+//! kernel and the frozen `reference` oracle, schedule-byte for
+//! schedule-byte.
+//!
+//! # Dispatch
+//!
+//! The level is chosen once per process: the `SMOOTH_SIMD` environment
+//! variable (`scalar` | `sse2` | `avx2` | `auto`, default `auto`) is
+//! clamped to what the CPU supports, `auto` picking the widest available
+//! kernel. Tests and benchmarks may override it with
+//! [`set_active_level`].
+//!
+//! # Safety
+//!
+//! This is the crate's only module with `unsafe` code (the crate is
+//! otherwise `#![forbid(unsafe_code)]`; the lint is scoped back to
+//! `deny` + a module-level `allow` here, and
+//! `unsafe_op_in_unsafe_fn` is denied crate-wide). The `unsafe` surface
+//! is exactly:
+//!
+//! * calling a `#[target_feature(enable = "avx2")]` kernel, guarded by
+//!   [`std::arch::is_x86_feature_detected!`] at dispatch-level init;
+//! * unaligned vector loads/stores on `[f64; 8]` arrays, whose bounds
+//!   are checked by `debug_assert!` and guaranteed by the array types.
+
+#![allow(unsafe_code)]
+
+/// Lookahead steps per vectorized round of the bound-intersection loop.
+pub(crate) const DECIDE_BLOCK: usize = 8;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Compare-select max, compiling to a bare `maxsd`/`maxpd` with none of
+/// `f64::max`'s NaN/−0 fixup instructions.
+///
+/// Bit-identical to `f64::max` on the quotient domain: every lane value
+/// is `+0`, a positive finite, or `+inf` (numerators are nonnegative
+/// sums, nonpositive denominators are replaced by `+inf` before the
+/// folds), so the cases where the two differ — NaN operands and
+/// `−0`/`+0` ties — cannot occur. This is also exactly the hardware
+/// `maxpd` rule (`src1 > src2 ? src1 : src2`), which is why the packed
+/// kernels match lane for lane.
+#[inline(always)]
+pub(crate) fn sel_max(a: f64, b: f64) -> f64 {
+    if a > b {
+        a
+    } else {
+        b
+    }
+}
+
+/// Compare-select min; see [`sel_max`] for the equivalence argument.
+#[inline(always)]
+pub(crate) fn sel_min(a: f64, b: f64) -> f64 {
+    if a < b {
+        a
+    } else {
+        b
+    }
+}
+
+/// Stride-half pairwise max of 8 lanes. Max is associative and
+/// commutative, so the tree computes the identical value to a
+/// left-to-right fold while shortening the latency chain to log₂ 8
+/// levels of adjacent-pair `maxpd`. The packed kernels compute this
+/// exact tree with `maxpd` (`v0..3` as `src1` against `v4..7`, then the
+/// 128-bit halves, then the lane pair).
+#[inline(always)]
+fn fold_max8(v: &[f64; DECIDE_BLOCK]) -> f64 {
+    let a = sel_max(v[0], v[4]);
+    let b = sel_max(v[1], v[5]);
+    let c = sel_max(v[2], v[6]);
+    let d = sel_max(v[3], v[7]);
+    sel_max(sel_max(a, c), sel_max(b, d))
+}
+
+/// Stride-half pairwise min of 8 lanes; see [`fold_max8`].
+#[inline(always)]
+fn fold_min8(v: &[f64; DECIDE_BLOCK]) -> f64 {
+    let a = sel_min(v[0], v[4]);
+    let b = sel_min(v[1], v[5]);
+    let c = sel_min(v[2], v[6]);
+    let d = sel_min(v[3], v[7]);
+    sel_min(sel_min(a, c), sel_min(b, d))
+}
+
+/// State threaded through the bound-intersection loop of one picture.
+pub(crate) struct BoundState {
+    pub(crate) sum: f64,
+    pub(crate) lower: f64,
+    pub(crate) upper: f64,
+    pub(crate) lower_old: f64,
+    pub(crate) upper_old: f64,
+    pub(crate) lower0: f64,
+    pub(crate) upper0: f64,
+}
+
+/// Per-block lane arrays, declared by the *caller* of [`bound_blocks8`]
+/// so they stay loop-carried (memory-resident) across blocks on the
+/// scalar path. Keeping them out of the inlined block body stops scalar
+/// replacement from dissolving the arrays, which would unroll the
+/// elementwise passes into scalar chains the backend fails to re-pack
+/// into `divpd`. The explicit SSE2/AVX2 kernels keep every lane in
+/// vector registers instead and touch this buffer only on the rare
+/// crossing block (to hand the lanes to the shared crossing locator).
+///
+/// Public so batch drivers ([`crate::decide_live`] callers such as the
+/// session engine) can hoist one buffer across many sessions; the fields
+/// stay private — `Default` is the only constructor needed.
+#[derive(Default)]
+pub struct BlockLanes {
+    sums: [f64; DECIDE_BLOCK],
+    dls: [f64; DECIDE_BLOCK],
+    dus: [f64; DECIDE_BLOCK],
+    qls: [f64; DECIDE_BLOCK],
+    qus: [f64; DECIDE_BLOCK],
+}
+
+/// Which kernel the dispatcher runs.
+///
+/// Ordered by width: `Scalar < Sse2 < Avx2`, so clamping a request to
+/// the machine's capability is a `min`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdLevel {
+    /// Portable autovectorized fallback (the only level off x86-64).
+    Scalar,
+    /// Explicit 2-lane `std::arch` kernel (x86-64 baseline).
+    Sse2,
+    /// Explicit 4-lane `std::arch` kernel (runtime-detected).
+    Avx2,
+}
+
+impl SimdLevel {
+    /// Stable lowercase name, matching the `SMOOTH_SIMD` values.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Sse2 => "sse2",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+
+    fn from_u8(v: u8) -> SimdLevel {
+        match v {
+            1 => SimdLevel::Sse2,
+            2 => SimdLevel::Avx2,
+            _ => SimdLevel::Scalar,
+        }
+    }
+}
+
+/// `ACTIVE` holds `level as u8 + 1`; 0 means "not yet initialised".
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+/// The widest kernel this CPU can run.
+fn detect_cap() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            SimdLevel::Avx2
+        } else {
+            SimdLevel::Sse2
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        SimdLevel::Scalar
+    }
+}
+
+#[cold]
+fn init_active() -> SimdLevel {
+    let cap = detect_cap();
+    let req = std::env::var("SMOOTH_SIMD")
+        .ok()
+        .map(|v| v.trim().to_ascii_lowercase());
+    let level = match req.as_deref() {
+        Some("scalar") | Some("off") => SimdLevel::Scalar,
+        Some("sse2") => SimdLevel::Sse2.min(cap),
+        Some("avx2") => SimdLevel::Avx2.min(cap),
+        // `auto`, unset, or unrecognized: widest available.
+        _ => cap,
+    };
+    ACTIVE.store(level as u8 + 1, Ordering::Relaxed);
+    level
+}
+
+/// The kernel the next [`bound_blocks8`] call will dispatch to.
+#[inline]
+pub fn active_level() -> SimdLevel {
+    match ACTIVE.load(Ordering::Relaxed) {
+        0 => init_active(),
+        v => SimdLevel::from_u8(v - 1),
+    }
+}
+
+/// Every level this CPU can run, narrowest first. Always starts with
+/// [`SimdLevel::Scalar`].
+pub fn available_levels() -> Vec<SimdLevel> {
+    let cap = detect_cap();
+    [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2]
+        .into_iter()
+        .filter(|&l| l <= cap)
+        .collect()
+}
+
+/// Forces the dispatch level for the whole process (tests, benchmarks,
+/// and the determinism CI lanes use this; normal callers should let
+/// `SMOOTH_SIMD`/auto-detection decide). Returns `false` — leaving the
+/// level unchanged — when the CPU cannot run the requested kernel.
+///
+/// The override is process-global; concurrent tests that force
+/// different levels must serialize themselves (see `simd_props`).
+pub fn set_active_level(level: SimdLevel) -> bool {
+    if level > detect_cap() {
+        return false;
+    }
+    ACTIVE.store(level as u8 + 1, Ordering::Relaxed);
+    true
+}
+
+/// Drops any [`set_active_level`] override, returning to the
+/// `SMOOTH_SIMD`/auto-detected level.
+pub fn reset_active_level() {
+    ACTIVE.store(0, Ordering::Relaxed);
+}
+
+/// All full 8-lane blocks of the bound-intersection loop, in one call,
+/// dispatched to the active kernel.
+///
+/// Each block computes its prefix sums, denominators, and quotients for
+/// 8 lookahead steps, then folds them into the running `lower`/`upper`
+/// by order-free max/min reductions. Returns the next step `h` and
+/// whether the bounds crossed.
+///
+/// The running bounds are monotone (the max only grows, the min only
+/// shrinks), so the end-of-block crossing test is exact: a crossing at
+/// any lane implies the block-end bounds cross, and vice versa. The
+/// rare crossing block hands its lanes to [`locate_crossing`], which
+/// recovers the scalar loop's exact exit state (crossing lane,
+/// pre-crossing `lower_old`/`upper_old`, prefix `sum`) with branchless
+/// doubling scans — shared by every kernel, so the cold path cannot
+/// diverge between them.
+///
+/// `#[inline(never)]` + the caller-owned lane buffer keep the scalar
+/// path's arrays memory-resident (see [`BlockLanes`]); the explicit
+/// kernels are unaffected but keep the same boundary so `decide_one`'s
+/// register pressure stays flat.
+#[inline(never)]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn bound_blocks8(
+    sizes_ahead: &[f64],
+    i: usize,
+    k: usize,
+    tau: f64,
+    d_bound: f64,
+    time: f64,
+    exact_prefix: bool,
+    lanes: &mut BlockLanes,
+    st: &mut BoundState,
+) -> (usize, bool) {
+    match active_level() {
+        SimdLevel::Scalar => scalar::bound_blocks8(
+            sizes_ahead,
+            i,
+            k,
+            tau,
+            d_bound,
+            time,
+            exact_prefix,
+            lanes,
+            st,
+        ),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86-64 baseline target, so the
+        // feature contract holds on every CPU this arm can run on.
+        SimdLevel::Sse2 => unsafe {
+            x86::bound_blocks8_sse2(
+                sizes_ahead,
+                i,
+                k,
+                tau,
+                d_bound,
+                time,
+                exact_prefix,
+                lanes,
+                st,
+            )
+        },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `active_level()` only returns `Avx2` when
+        // `detect_cap()` observed `is_x86_feature_detected!("avx2")`
+        // (both the env-var init and `set_active_level` clamp to the
+        // detected capability), so the target feature is present.
+        SimdLevel::Avx2 => unsafe {
+            x86::bound_blocks8_avx2(
+                sizes_ahead,
+                i,
+                k,
+                tau,
+                d_bound,
+                time,
+                exact_prefix,
+                lanes,
+                st,
+            )
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::bound_blocks8(
+            sizes_ahead,
+            i,
+            k,
+            tau,
+            d_bound,
+            time,
+            exact_prefix,
+            lanes,
+            st,
+        ),
+    }
+}
+
+/// Runs one forced kernel regardless of the active dispatch level —
+/// the byte-compare harness for the `simd_props` tests. Returns `None`
+/// when this CPU cannot run `level`.
+#[doc(hidden)]
+#[allow(clippy::too_many_arguments)]
+pub fn bound_blocks8_at_level(
+    level: SimdLevel,
+    sizes_ahead: &[f64],
+    i: usize,
+    k: usize,
+    tau: f64,
+    d_bound: f64,
+    time: f64,
+    exact_prefix: bool,
+    lanes: &mut BlockLanes,
+) -> Option<(usize, bool, [f64; 7])> {
+    if level > detect_cap() {
+        return None;
+    }
+    let mut st = BoundState {
+        sum: 0.0,
+        lower: 0.0,
+        upper: f64::INFINITY,
+        lower_old: 0.0,
+        upper_old: f64::INFINITY,
+        lower0: 0.0,
+        upper0: f64::INFINITY,
+    };
+    let (h, crossed) = match level {
+        SimdLevel::Scalar => scalar::bound_blocks8(
+            sizes_ahead,
+            i,
+            k,
+            tau,
+            d_bound,
+            time,
+            exact_prefix,
+            lanes,
+            &mut st,
+        ),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86-64 baseline target, so the
+        // feature contract holds on every CPU this arm can run on.
+        SimdLevel::Sse2 => unsafe {
+            x86::bound_blocks8_sse2(
+                sizes_ahead,
+                i,
+                k,
+                tau,
+                d_bound,
+                time,
+                exact_prefix,
+                lanes,
+                &mut st,
+            )
+        },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `level <= detect_cap()` was checked above, so AVX2 is
+        // present when this arm is reached.
+        SimdLevel::Avx2 => unsafe {
+            x86::bound_blocks8_avx2(
+                sizes_ahead,
+                i,
+                k,
+                tau,
+                d_bound,
+                time,
+                exact_prefix,
+                lanes,
+                &mut st,
+            )
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("non-scalar level above detect_cap on non-x86-64"),
+    };
+    Some((
+        h,
+        crossed,
+        [
+            st.sum,
+            st.lower,
+            st.upper,
+            st.lower_old,
+            st.upper_old,
+            st.lower0,
+            st.upper0,
+        ],
+    ))
+}
+
+/// Recovers the scalar loop's exact exit state for a crossing block.
+///
+/// On entry `lanes.qls`/`lanes.qus` hold the block's post-select lane
+/// quotients and `lanes.sums` its prefix sums; `lower`/`upper` are the
+/// running bounds *before* the block. Turns the lane quotients into
+/// inclusive running bounds in place (doubling scan; max/min are
+/// associative, commutative, and idempotent, so every scanned value
+/// equals the sequential chain's bit for bit), counts the
+/// still-overlapping lanes to find the crossing lane, and writes the
+/// pre-/post-crossing bounds and prefix sum into `st`. Returns the
+/// crossing lane index.
+#[cold]
+fn locate_crossing(lanes: &mut BlockLanes, lower: f64, upper: f64, st: &mut BoundState) -> usize {
+    for j in (1..DECIDE_BLOCK).rev() {
+        lanes.qls[j] = sel_max(lanes.qls[j], lanes.qls[j - 1]);
+        lanes.qus[j] = sel_min(lanes.qus[j], lanes.qus[j - 1]);
+    }
+    for j in (2..DECIDE_BLOCK).rev() {
+        lanes.qls[j] = sel_max(lanes.qls[j], lanes.qls[j - 2]);
+        lanes.qus[j] = sel_min(lanes.qus[j], lanes.qus[j - 2]);
+    }
+    for j in (4..DECIDE_BLOCK).rev() {
+        lanes.qls[j] = sel_max(lanes.qls[j], lanes.qls[j - 4]);
+        lanes.qus[j] = sel_min(lanes.qus[j], lanes.qus[j - 4]);
+    }
+    for j in 0..DECIDE_BLOCK {
+        lanes.qls[j] = sel_max(lower, lanes.qls[j]);
+        lanes.qus[j] = sel_min(upper, lanes.qus[j]);
+    }
+    // `qls[j] > qus[j]` is monotone in `j` (the running lower bound only
+    // grows, the upper only shrinks), so the number of still-overlapping
+    // lanes *is* the crossing lane index. Lane 7 crossed (that is what
+    // brought us here), so the count is at most 7; the `min` just tells
+    // the compiler.
+    let mut lane = 0usize;
+    for j in 0..DECIDE_BLOCK {
+        lane += (lanes.qls[j] <= lanes.qus[j]) as usize;
+    }
+    let lane = lane.min(DECIDE_BLOCK - 1);
+    st.lower_old = if lane == 0 {
+        lower
+    } else {
+        lanes.qls[lane - 1]
+    };
+    st.upper_old = if lane == 0 {
+        upper
+    } else {
+        lanes.qus[lane - 1]
+    };
+    st.sum = lanes.sums[lane];
+    st.lower = lanes.qls[lane];
+    st.upper = lanes.qus[lane];
+    lane
+}
+
+mod scalar {
+    use super::{
+        fold_max8, fold_min8, locate_crossing, sel_max, sel_min, BlockLanes, BoundState,
+        DECIDE_BLOCK,
+    };
+
+    /// The portable kernel: the pre-PR autovectorized `bound_blocks8`
+    /// verbatim, with the crossing tail factored into the shared
+    /// [`locate_crossing`].
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn bound_blocks8(
+        sizes_ahead: &[f64],
+        i: usize,
+        k: usize,
+        tau: f64,
+        d_bound: f64,
+        time: f64,
+        exact_prefix: bool,
+        lanes: &mut BlockLanes,
+        st: &mut BoundState,
+    ) -> (usize, bool) {
+        let len = sizes_ahead.len();
+        let mut sum = st.sum;
+        let mut lower = st.lower;
+        let mut upper = st.upper;
+        let mut h = 0usize;
+        while len - h >= DECIDE_BLOCK {
+            let sizes: &[f64; DECIDE_BLOCK] = sizes_ahead[h..h + DECIDE_BLOCK]
+                .try_into()
+                .expect("slice is exactly one block");
+            // `base + j as f64` equals `(i + h + j) as f64` bit for bit:
+            // both sides are integers below 2^53, so conversion and sum
+            // are exact. This keeps the denominator passes straight-line
+            // packed arithmetic.
+            let base_l = (i + h) as f64;
+            let base_u = (i + h + k + 1) as f64;
+            if exact_prefix {
+                // Hillis–Steele parallel scan. Every operand is a
+                // nonnegative integer-valued f64 with partial sums < 2^53
+                // (the `exact_prefix` contract), so each addition is
+                // exact and any association yields the same bits as the
+                // sequential chain — at a quarter of its latency. The
+                // quotient arrays double as scan temporaries; they are
+                // rewritten below.
+                lanes.qls[0] = sizes[0];
+                for j in 1..DECIDE_BLOCK {
+                    lanes.qls[j] = sizes[j - 1] + sizes[j];
+                }
+                lanes.qus[0] = lanes.qls[0];
+                lanes.qus[1] = lanes.qls[1];
+                for j in 2..DECIDE_BLOCK {
+                    lanes.qus[j] = lanes.qls[j - 2] + lanes.qls[j];
+                }
+                for j in 0..4 {
+                    lanes.sums[j] = sum + lanes.qus[j];
+                }
+                for j in 4..DECIDE_BLOCK {
+                    lanes.sums[j] = sum + (lanes.qus[j - 4] + lanes.qus[j]);
+                }
+            } else {
+                let mut s = sum;
+                for (j, &size) in sizes.iter().enumerate().take(DECIDE_BLOCK) {
+                    s += size;
+                    lanes.sums[j] = s;
+                }
+            }
+            for j in 0..DECIDE_BLOCK {
+                // r_L(h): delay-bound constraint (paper eq. 12).
+                lanes.dls[j] = d_bound + (base_l + j as f64) * tau - time;
+                // r_U(h): continuous-service constraint (paper eq. 13).
+                lanes.dus[j] = (base_u + j as f64) * tau - time;
+            }
+            // The quotients as *unconditional* elementwise passes (IEEE
+            // division cannot trap; packed division of the same operands
+            // gives the same bits as scalar). The nonpositive-denominator
+            // guard is a separate branchless select pass — a branch
+            // inside the division loop would block packing.
+            for j in 0..DECIDE_BLOCK {
+                lanes.qls[j] = lanes.sums[j] / lanes.dls[j];
+            }
+            for j in 0..DECIDE_BLOCK {
+                lanes.qus[j] = lanes.sums[j] / lanes.dus[j];
+            }
+            // Both denominator sequences are nondecreasing in the lane
+            // index: `base + j` is exact, multiplication by τ > 0 and the
+            // constant additions are weakly monotone under IEEE rounding.
+            // So a positive lane 0 makes every select below an identity,
+            // and the pass can be skipped — the common case once the
+            // schedule leaves the start-up transient.
+            if lanes.dls[0] <= 0.0 {
+                for j in 0..DECIDE_BLOCK {
+                    lanes.qls[j] = if lanes.dls[j] > 0.0 {
+                        lanes.qls[j]
+                    } else {
+                        f64::INFINITY
+                    };
+                }
+            }
+            if lanes.dus[0] <= 0.0 {
+                for j in 0..DECIDE_BLOCK {
+                    lanes.qus[j] = if lanes.dus[j] > 0.0 {
+                        lanes.qus[j]
+                    } else {
+                        f64::INFINITY
+                    };
+                }
+            }
+            if h == 0 {
+                // Bounds of lane 0 (the scalar loop's `h == 0` capture):
+                // the running values start at 0 / +inf, and lane
+                // quotients are positive or +inf, so the captured values
+                // equal the quotients.
+                st.lower0 = lanes.qls[0];
+                st.upper0 = lanes.qus[0];
+            }
+            // The running bounds live in the same NaN-free, −0-free
+            // domain (they start at +0 / +inf and only ever take lane
+            // values), so the compare-select forms stay bit-identical
+            // here too.
+            let block_lower = sel_max(lower, fold_max8(&lanes.qls));
+            let block_upper = sel_min(upper, fold_min8(&lanes.qus));
+            if block_lower > block_upper {
+                let lane = locate_crossing(lanes, lower, upper, st);
+                return (h + lane + 1, true);
+            }
+            lower = block_lower;
+            upper = block_upper;
+            sum = lanes.sums[DECIDE_BLOCK - 1];
+            h += DECIDE_BLOCK;
+        }
+        st.sum = sum;
+        st.lower = lower;
+        st.upper = upper;
+        (h, false)
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{locate_crossing, sel_max, sel_min, BlockLanes, BoundState, DECIDE_BLOCK};
+    use std::arch::x86_64::*;
+
+    /// Loads lanes `at..at + 2` of an 8-lane array.
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    fn load2(a: &[f64; DECIDE_BLOCK], at: usize) -> __m128d {
+        debug_assert!(at + 2 <= DECIDE_BLOCK);
+        // SAFETY: `a` is 8 contiguous f64s and `at + 2 <= 8` at every
+        // call site (asserted above), so the 16-byte unaligned read is
+        // in bounds.
+        unsafe { _mm_loadu_pd(a.as_ptr().add(at)) }
+    }
+
+    /// Stores `v` into lanes `at..at + 2` of an 8-lane array.
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    fn store2(a: &mut [f64; DECIDE_BLOCK], at: usize, v: __m128d) {
+        debug_assert!(at + 2 <= DECIDE_BLOCK);
+        // SAFETY: as in `load2`, the 16-byte unaligned write is in
+        // bounds.
+        unsafe { _mm_storeu_pd(a.as_mut_ptr().add(at), v) }
+    }
+
+    /// Loads lanes `at..at + 4` of an 8-lane array.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn load4(a: &[f64; DECIDE_BLOCK], at: usize) -> __m256d {
+        debug_assert!(at + 4 <= DECIDE_BLOCK);
+        // SAFETY: `a` is 8 contiguous f64s and `at + 4 <= 8` at every
+        // call site (asserted above), so the 32-byte unaligned read is
+        // in bounds.
+        unsafe { _mm256_loadu_pd(a.as_ptr().add(at)) }
+    }
+
+    /// Stores `v` into lanes `at..at + 4` of an 8-lane array.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn store4(a: &mut [f64; DECIDE_BLOCK], at: usize, v: __m256d) {
+        debug_assert!(at + 4 <= DECIDE_BLOCK);
+        // SAFETY: as in `load4`, the 32-byte unaligned write is in
+        // bounds.
+        unsafe { _mm256_storeu_pd(a.as_mut_ptr().add(at), v) }
+    }
+
+    /// The 2-lane kernel. SSE2 is part of the x86-64 compilation
+    /// baseline, so the `#[target_feature]` contract is vacuous — every
+    /// x86-64 CPU satisfies it — but the attribute is still required for
+    /// the intrinsics to be callable without per-call `unsafe`.
+    ///
+    /// Every arithmetic instruction mirrors one scalar-kernel operation
+    /// with the same operand order: `divpd` is IEEE-exact per lane,
+    /// `maxpd`/`minpd` implement the compare-select rule, and the
+    /// and/andnot/or select matches the branchless +∞ substitution.
+    /// The sequential prefix chain (`exact_prefix == false`) stays a
+    /// scalar dependency chain by definition; only the Hillis–Steele
+    /// scan (whose additions are exact by contract) runs packed.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "sse2")]
+    pub(super) fn bound_blocks8_sse2(
+        sizes_ahead: &[f64],
+        i: usize,
+        k: usize,
+        tau: f64,
+        d_bound: f64,
+        time: f64,
+        exact_prefix: bool,
+        lanes: &mut BlockLanes,
+        st: &mut BoundState,
+    ) -> (usize, bool) {
+        let len = sizes_ahead.len();
+        let mut sum = st.sum;
+        let mut lower = st.lower;
+        let mut upper = st.upper;
+        let mut h = 0usize;
+
+        let zero = _mm_setzero_pd();
+        let tau_v = _mm_set1_pd(tau);
+        let time_v = _mm_set1_pd(time);
+        let dbound_v = _mm_set1_pd(d_bound);
+        let inf_v = _mm_set1_pd(f64::INFINITY);
+        let j01 = _mm_setr_pd(0.0, 1.0);
+        let j23 = _mm_setr_pd(2.0, 3.0);
+        let j45 = _mm_setr_pd(4.0, 5.0);
+        let j67 = _mm_setr_pd(6.0, 7.0);
+
+        while len - h >= DECIDE_BLOCK {
+            let sizes: &[f64; DECIDE_BLOCK] = sizes_ahead[h..h + DECIDE_BLOCK]
+                .try_into()
+                .expect("slice is exactly one block");
+            let s0 = load2(sizes, 0);
+            let s1 = load2(sizes, 2);
+            let s2 = load2(sizes, 4);
+            let s3 = load2(sizes, 6);
+            let (sums0, sums1, sums2, sums3);
+            if exact_prefix {
+                // Hillis–Steele scan, association identical to the
+                // scalar kernel (every addition exact by contract).
+                // Stride 1: qls[j] = sizes[j-1] + sizes[j], with +0
+                // shifted into lane 0 (x + 0 ≡ x on the nonnegative
+                // domain).
+                let q0 = _mm_add_pd(_mm_unpacklo_pd(zero, s0), s0);
+                let q1 = _mm_add_pd(_mm_shuffle_pd(s0, s1, 0b01), s1);
+                let q2 = _mm_add_pd(_mm_shuffle_pd(s1, s2, 0b01), s2);
+                let q3 = _mm_add_pd(_mm_shuffle_pd(s2, s3, 0b01), s3);
+                // Stride 2: qus[j] = qls[j-2] + qls[j].
+                let u0 = q0;
+                let u1 = _mm_add_pd(q0, q1);
+                let u2 = _mm_add_pd(q1, q2);
+                let u3 = _mm_add_pd(q2, q3);
+                // Stride 4: sums[j] = sum + qus[j] (low half) and
+                // sum + (qus[j-4] + qus[j]) (high half).
+                let sum_v = _mm_set1_pd(sum);
+                sums0 = _mm_add_pd(sum_v, u0);
+                sums1 = _mm_add_pd(sum_v, u1);
+                sums2 = _mm_add_pd(sum_v, _mm_add_pd(u0, u2));
+                sums3 = _mm_add_pd(sum_v, _mm_add_pd(u1, u3));
+            } else {
+                // Strictly sequential chain — kept scalar on purpose;
+                // reassociating it would change bits.
+                let mut seq = [0.0f64; DECIDE_BLOCK];
+                let mut s = sum;
+                for (j, &size) in sizes.iter().enumerate().take(DECIDE_BLOCK) {
+                    s += size;
+                    seq[j] = s;
+                }
+                sums0 = load2(&seq, 0);
+                sums1 = load2(&seq, 2);
+                sums2 = load2(&seq, 4);
+                sums3 = load2(&seq, 6);
+            }
+            let base_l = _mm_set1_pd((i + h) as f64);
+            let base_u = _mm_set1_pd((i + h + k + 1) as f64);
+            // r_L(h) denominators: d_bound + (base_l + j)·τ − time.
+            let dls0 = _mm_sub_pd(
+                _mm_add_pd(dbound_v, _mm_mul_pd(_mm_add_pd(base_l, j01), tau_v)),
+                time_v,
+            );
+            let dls1 = _mm_sub_pd(
+                _mm_add_pd(dbound_v, _mm_mul_pd(_mm_add_pd(base_l, j23), tau_v)),
+                time_v,
+            );
+            let dls2 = _mm_sub_pd(
+                _mm_add_pd(dbound_v, _mm_mul_pd(_mm_add_pd(base_l, j45), tau_v)),
+                time_v,
+            );
+            let dls3 = _mm_sub_pd(
+                _mm_add_pd(dbound_v, _mm_mul_pd(_mm_add_pd(base_l, j67), tau_v)),
+                time_v,
+            );
+            // r_U(h) denominators: (base_u + j)·τ − time.
+            let dus0 = _mm_sub_pd(_mm_mul_pd(_mm_add_pd(base_u, j01), tau_v), time_v);
+            let dus1 = _mm_sub_pd(_mm_mul_pd(_mm_add_pd(base_u, j23), tau_v), time_v);
+            let dus2 = _mm_sub_pd(_mm_mul_pd(_mm_add_pd(base_u, j45), tau_v), time_v);
+            let dus3 = _mm_sub_pd(_mm_mul_pd(_mm_add_pd(base_u, j67), tau_v), time_v);
+            // Unconditional packed divides (IEEE-exact per lane).
+            let mut qls0 = _mm_div_pd(sums0, dls0);
+            let mut qls1 = _mm_div_pd(sums1, dls1);
+            let mut qls2 = _mm_div_pd(sums2, dls2);
+            let mut qls3 = _mm_div_pd(sums3, dls3);
+            let mut qus0 = _mm_div_pd(sums0, dus0);
+            let mut qus1 = _mm_div_pd(sums1, dus1);
+            let mut qus2 = _mm_div_pd(sums2, dus2);
+            let mut qus3 = _mm_div_pd(sums3, dus3);
+            // Branchless +∞ substitution for nonpositive denominators,
+            // skippable when lane 0 is already positive (denominators
+            // are nondecreasing in the lane index).
+            if _mm_cvtsd_f64(dls0) <= 0.0 {
+                let m0 = _mm_cmpgt_pd(dls0, zero);
+                let m1 = _mm_cmpgt_pd(dls1, zero);
+                let m2 = _mm_cmpgt_pd(dls2, zero);
+                let m3 = _mm_cmpgt_pd(dls3, zero);
+                qls0 = _mm_or_pd(_mm_and_pd(m0, qls0), _mm_andnot_pd(m0, inf_v));
+                qls1 = _mm_or_pd(_mm_and_pd(m1, qls1), _mm_andnot_pd(m1, inf_v));
+                qls2 = _mm_or_pd(_mm_and_pd(m2, qls2), _mm_andnot_pd(m2, inf_v));
+                qls3 = _mm_or_pd(_mm_and_pd(m3, qls3), _mm_andnot_pd(m3, inf_v));
+            }
+            if _mm_cvtsd_f64(dus0) <= 0.0 {
+                let m0 = _mm_cmpgt_pd(dus0, zero);
+                let m1 = _mm_cmpgt_pd(dus1, zero);
+                let m2 = _mm_cmpgt_pd(dus2, zero);
+                let m3 = _mm_cmpgt_pd(dus3, zero);
+                qus0 = _mm_or_pd(_mm_and_pd(m0, qus0), _mm_andnot_pd(m0, inf_v));
+                qus1 = _mm_or_pd(_mm_and_pd(m1, qus1), _mm_andnot_pd(m1, inf_v));
+                qus2 = _mm_or_pd(_mm_and_pd(m2, qus2), _mm_andnot_pd(m2, inf_v));
+                qus3 = _mm_or_pd(_mm_and_pd(m3, qus3), _mm_andnot_pd(m3, inf_v));
+            }
+            if h == 0 {
+                st.lower0 = _mm_cvtsd_f64(qls0);
+                st.upper0 = _mm_cvtsd_f64(qus0);
+            }
+            // fold_max8's tree: [v0,v1]·[v4,v5] and [v2,v3]·[v6,v7],
+            // then the halves, then the lane pair — `maxpd`'s src1
+            // operand is always the tree's left argument.
+            let mab = _mm_max_pd(qls0, qls2);
+            let mcd = _mm_max_pd(qls1, qls3);
+            let mx = _mm_max_pd(mab, mcd);
+            let fold_max = _mm_cvtsd_f64(_mm_max_sd(mx, _mm_unpackhi_pd(mx, mx)));
+            let nab = _mm_min_pd(qus0, qus2);
+            let ncd = _mm_min_pd(qus1, qus3);
+            let nx = _mm_min_pd(nab, ncd);
+            let fold_min = _mm_cvtsd_f64(_mm_min_sd(nx, _mm_unpackhi_pd(nx, nx)));
+            let block_lower = sel_max(lower, fold_max);
+            let block_upper = sel_min(upper, fold_min);
+            if block_lower > block_upper {
+                // Cold path: park the lanes and defer to the shared
+                // branchless locator.
+                store2(&mut lanes.sums, 0, sums0);
+                store2(&mut lanes.sums, 2, sums1);
+                store2(&mut lanes.sums, 4, sums2);
+                store2(&mut lanes.sums, 6, sums3);
+                store2(&mut lanes.qls, 0, qls0);
+                store2(&mut lanes.qls, 2, qls1);
+                store2(&mut lanes.qls, 4, qls2);
+                store2(&mut lanes.qls, 6, qls3);
+                store2(&mut lanes.qus, 0, qus0);
+                store2(&mut lanes.qus, 2, qus1);
+                store2(&mut lanes.qus, 4, qus2);
+                store2(&mut lanes.qus, 6, qus3);
+                let lane = locate_crossing(lanes, lower, upper, st);
+                return (h + lane + 1, true);
+            }
+            lower = block_lower;
+            upper = block_upper;
+            sum = _mm_cvtsd_f64(_mm_unpackhi_pd(sums3, sums3));
+            h += DECIDE_BLOCK;
+        }
+        st.sum = sum;
+        st.lower = lower;
+        st.upper = upper;
+        (h, false)
+    }
+
+    /// The 4-lane kernel; see [`bound_blocks8_sse2`] for the
+    /// per-instruction equivalence argument. Cross-lane shuffles
+    /// (`vpermpd`, `vperm2f128`) implement the Hillis–Steele shifts; the
+    /// fold trees split the 8 lanes exactly as `fold_max8` does.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub(super) fn bound_blocks8_avx2(
+        sizes_ahead: &[f64],
+        i: usize,
+        k: usize,
+        tau: f64,
+        d_bound: f64,
+        time: f64,
+        exact_prefix: bool,
+        lanes: &mut BlockLanes,
+        st: &mut BoundState,
+    ) -> (usize, bool) {
+        let len = sizes_ahead.len();
+        let mut sum = st.sum;
+        let mut lower = st.lower;
+        let mut upper = st.upper;
+        let mut h = 0usize;
+
+        let zero = _mm256_setzero_pd();
+        let tau_v = _mm256_set1_pd(tau);
+        let time_v = _mm256_set1_pd(time);
+        let dbound_v = _mm256_set1_pd(d_bound);
+        let inf_v = _mm256_set1_pd(f64::INFINITY);
+        let jlo = _mm256_setr_pd(0.0, 1.0, 2.0, 3.0);
+        let jhi = _mm256_setr_pd(4.0, 5.0, 6.0, 7.0);
+
+        while len - h >= DECIDE_BLOCK {
+            let sizes: &[f64; DECIDE_BLOCK] = sizes_ahead[h..h + DECIDE_BLOCK]
+                .try_into()
+                .expect("slice is exactly one block");
+            let s_lo = load4(sizes, 0);
+            let s_hi = load4(sizes, 4);
+            let (sums_lo, sums_hi);
+            if exact_prefix {
+                // Stride 1: [0,s0,s1,s2] and [s3,s4,s5,s6] shifted in.
+                let rot_lo = _mm256_permute4x64_pd(s_lo, 0b10_01_00_00);
+                let prev_lo = _mm256_blend_pd(rot_lo, zero, 0b0001);
+                let rot_hi = _mm256_permute4x64_pd(s_hi, 0b10_01_00_11);
+                let s3_b = _mm256_permute4x64_pd(s_lo, 0b11_11_11_11);
+                let prev_hi = _mm256_blend_pd(rot_hi, s3_b, 0b0001);
+                let qls_lo = _mm256_add_pd(prev_lo, s_lo);
+                let qls_hi = _mm256_add_pd(prev_hi, s_hi);
+                // Stride 2: [0,0,q0,q1] and [q2,q3,q4,q5] shifted in.
+                let rot2_lo = _mm256_permute4x64_pd(qls_lo, 0b01_00_00_00);
+                let prev2_lo = _mm256_blend_pd(rot2_lo, zero, 0b0011);
+                let prev2_hi = _mm256_permute2f128_pd(qls_lo, qls_hi, 0x21);
+                let qus_lo = _mm256_add_pd(prev2_lo, qls_lo);
+                let qus_hi = _mm256_add_pd(prev2_hi, qls_hi);
+                // Stride 4.
+                let sum_v = _mm256_set1_pd(sum);
+                sums_lo = _mm256_add_pd(sum_v, qus_lo);
+                sums_hi = _mm256_add_pd(sum_v, _mm256_add_pd(qus_lo, qus_hi));
+            } else {
+                // Strictly sequential chain — kept scalar on purpose.
+                let mut seq = [0.0f64; DECIDE_BLOCK];
+                let mut s = sum;
+                for (j, &size) in sizes.iter().enumerate().take(DECIDE_BLOCK) {
+                    s += size;
+                    seq[j] = s;
+                }
+                sums_lo = load4(&seq, 0);
+                sums_hi = load4(&seq, 4);
+            }
+            let base_l = _mm256_set1_pd((i + h) as f64);
+            let base_u = _mm256_set1_pd((i + h + k + 1) as f64);
+            let dls_lo = _mm256_sub_pd(
+                _mm256_add_pd(dbound_v, _mm256_mul_pd(_mm256_add_pd(base_l, jlo), tau_v)),
+                time_v,
+            );
+            let dls_hi = _mm256_sub_pd(
+                _mm256_add_pd(dbound_v, _mm256_mul_pd(_mm256_add_pd(base_l, jhi), tau_v)),
+                time_v,
+            );
+            let dus_lo = _mm256_sub_pd(_mm256_mul_pd(_mm256_add_pd(base_u, jlo), tau_v), time_v);
+            let dus_hi = _mm256_sub_pd(_mm256_mul_pd(_mm256_add_pd(base_u, jhi), tau_v), time_v);
+            let mut qls_lo = _mm256_div_pd(sums_lo, dls_lo);
+            let mut qls_hi = _mm256_div_pd(sums_hi, dls_hi);
+            let mut qus_lo = _mm256_div_pd(sums_lo, dus_lo);
+            let mut qus_hi = _mm256_div_pd(sums_hi, dus_hi);
+            if _mm256_cvtsd_f64(dls_lo) <= 0.0 {
+                let m_lo = _mm256_cmp_pd::<_CMP_GT_OQ>(dls_lo, zero);
+                let m_hi = _mm256_cmp_pd::<_CMP_GT_OQ>(dls_hi, zero);
+                qls_lo = _mm256_blendv_pd(inf_v, qls_lo, m_lo);
+                qls_hi = _mm256_blendv_pd(inf_v, qls_hi, m_hi);
+            }
+            if _mm256_cvtsd_f64(dus_lo) <= 0.0 {
+                let m_lo = _mm256_cmp_pd::<_CMP_GT_OQ>(dus_lo, zero);
+                let m_hi = _mm256_cmp_pd::<_CMP_GT_OQ>(dus_hi, zero);
+                qus_lo = _mm256_blendv_pd(inf_v, qus_lo, m_lo);
+                qus_hi = _mm256_blendv_pd(inf_v, qus_hi, m_hi);
+            }
+            if h == 0 {
+                st.lower0 = _mm256_cvtsd_f64(qls_lo);
+                st.upper0 = _mm256_cvtsd_f64(qus_lo);
+            }
+            // fold_max8's tree: lanes 0..3 against 4..7, then the
+            // 128-bit halves, then the lane pair.
+            let m = _mm256_max_pd(qls_lo, qls_hi);
+            let m128 = _mm_max_pd(_mm256_castpd256_pd128(m), _mm256_extractf128_pd(m, 1));
+            let fold_max = _mm_cvtsd_f64(_mm_max_sd(m128, _mm_unpackhi_pd(m128, m128)));
+            let n = _mm256_min_pd(qus_lo, qus_hi);
+            let n128 = _mm_min_pd(_mm256_castpd256_pd128(n), _mm256_extractf128_pd(n, 1));
+            let fold_min = _mm_cvtsd_f64(_mm_min_sd(n128, _mm_unpackhi_pd(n128, n128)));
+            let block_lower = sel_max(lower, fold_max);
+            let block_upper = sel_min(upper, fold_min);
+            if block_lower > block_upper {
+                store4(&mut lanes.sums, 0, sums_lo);
+                store4(&mut lanes.sums, 4, sums_hi);
+                store4(&mut lanes.qls, 0, qls_lo);
+                store4(&mut lanes.qls, 4, qls_hi);
+                store4(&mut lanes.qus, 0, qus_lo);
+                store4(&mut lanes.qus, 4, qus_hi);
+                let lane = locate_crossing(lanes, lower, upper, st);
+                return (h + lane + 1, true);
+            }
+            lower = block_lower;
+            upper = block_upper;
+            let hi128 = _mm256_extractf128_pd(sums_hi, 1);
+            sum = _mm_cvtsd_f64(_mm_unpackhi_pd(hi128, hi128));
+            h += DECIDE_BLOCK;
+        }
+        st.sum = sum;
+        st.lower = lower;
+        st.upper = upper;
+        (h, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_supports_clamping() {
+        assert!(SimdLevel::Scalar < SimdLevel::Sse2);
+        assert!(SimdLevel::Sse2 < SimdLevel::Avx2);
+        assert_eq!(SimdLevel::Avx2.min(SimdLevel::Sse2), SimdLevel::Sse2);
+    }
+
+    #[test]
+    fn available_levels_always_include_scalar() {
+        let levels = available_levels();
+        assert_eq!(levels[0], SimdLevel::Scalar);
+        #[cfg(target_arch = "x86_64")]
+        assert!(levels.contains(&SimdLevel::Sse2));
+    }
+
+    #[test]
+    fn kernels_agree_on_a_smoke_block() {
+        // One 16-step window: every available kernel must produce the
+        // same exit state bit for bit, exact and sequential prefix
+        // alike. (The full schedule-level pinning lives in the
+        // `simd_props` integration tests.)
+        let sizes: Vec<f64> = (0..16).map(|j| 16_000.0 + 1_000.0 * j as f64).collect();
+        for &exact in &[false, true] {
+            let mut want = None;
+            for level in available_levels() {
+                let mut lanes = BlockLanes::default();
+                let got = bound_blocks8_at_level(
+                    level,
+                    &sizes,
+                    3,
+                    1,
+                    1.0 / 30.0,
+                    0.2,
+                    0.1334,
+                    exact,
+                    &mut lanes,
+                )
+                .expect("level is available");
+                let key = (
+                    got.0,
+                    got.1,
+                    got.2.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                );
+                match &want {
+                    None => want = Some(key),
+                    Some(w) => assert_eq!(w, &key, "level {level:?} diverged (exact={exact})"),
+                }
+            }
+        }
+    }
+}

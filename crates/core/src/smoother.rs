@@ -260,282 +260,8 @@ pub(crate) struct DecideCtx<'a> {
     pub exact_prefix: bool,
 }
 
-/// Lookahead steps per vectorized round of the bound-intersection loop.
-const DECIDE_BLOCK: usize = 8;
-
-/// Compare-select max, compiling to a bare `maxsd`/`maxpd` with none of
-/// `f64::max`'s NaN/−0 fixup instructions.
-///
-/// Bit-identical to `f64::max` on the quotient domain: every lane value
-/// is `+0`, a positive finite, or `+inf` (numerators are nonnegative
-/// sums, nonpositive denominators are replaced by `+inf` before the
-/// folds), so the cases where the two differ — NaN operands and
-/// `−0`/`+0` ties — cannot occur.
-#[inline(always)]
-fn sel_max(a: f64, b: f64) -> f64 {
-    if a > b {
-        a
-    } else {
-        b
-    }
-}
-
-/// Compare-select min; see [`sel_max`] for the equivalence argument.
-#[inline(always)]
-fn sel_min(a: f64, b: f64) -> f64 {
-    if a < b {
-        a
-    } else {
-        b
-    }
-}
-
-/// Stride-half pairwise max of 8 lanes. Max is associative and
-/// commutative, so the tree computes the identical value to a
-/// left-to-right fold while shortening the latency chain to log₂ 8
-/// levels of adjacent-pair `maxpd`.
-#[inline(always)]
-fn fold_max8(v: &[f64; DECIDE_BLOCK]) -> f64 {
-    let a = sel_max(v[0], v[4]);
-    let b = sel_max(v[1], v[5]);
-    let c = sel_max(v[2], v[6]);
-    let d = sel_max(v[3], v[7]);
-    sel_max(sel_max(a, c), sel_max(b, d))
-}
-
-/// Stride-half pairwise min of 8 lanes; see [`fold_max8`].
-#[inline(always)]
-fn fold_min8(v: &[f64; DECIDE_BLOCK]) -> f64 {
-    let a = sel_min(v[0], v[4]);
-    let b = sel_min(v[1], v[5]);
-    let c = sel_min(v[2], v[6]);
-    let d = sel_min(v[3], v[7]);
-    sel_min(sel_min(a, c), sel_min(b, d))
-}
-
-/// State threaded through the bound-intersection loop of one picture.
-struct BoundState {
-    sum: f64,
-    lower: f64,
-    upper: f64,
-    lower_old: f64,
-    upper_old: f64,
-    lower0: f64,
-    upper0: f64,
-}
-
-/// Per-block lane arrays, declared by the *caller* of [`bound_block8`] so
-/// they stay loop-carried (memory-resident) across blocks. Keeping them
-/// out of the inlined block body stops scalar replacement from dissolving
-/// the arrays, which would unroll the elementwise passes into scalar
-/// chains the backend fails to re-pack into `divpd`.
-///
-/// Public so batch drivers ([`crate::decide_live`] callers such as the
-/// session engine) can hoist one buffer across many sessions; the fields
-/// stay private — `Default` is the only constructor needed.
-#[derive(Default)]
-pub struct BlockLanes {
-    sums: [f64; DECIDE_BLOCK],
-    dls: [f64; DECIDE_BLOCK],
-    dus: [f64; DECIDE_BLOCK],
-    qls: [f64; DECIDE_BLOCK],
-    qus: [f64; DECIDE_BLOCK],
-}
-
-/// All full 8-lane blocks of the bound-intersection loop, in one call.
-///
-/// Each block computes its prefix sums, denominators, and quotients as
-/// fixed-trip elementwise passes over the caller-owned [`BlockLanes`]
-/// buffer, then folds them into the running `lower`/`upper` by
-/// order-free max/min reductions. Returns the next step `h` and whether
-/// the bounds crossed.
-///
-/// Two deliberate codegen constraints, verified against the emitted
-/// assembly:
-///
-/// * `#[inline(never)]` + the caller-owned lane buffer keep the arrays
-///   memory-resident. Were the function inlined (or the buffer local),
-///   scalar replacement would dissolve the arrays, fully unroll the
-///   passes, and the backend would fail to re-pack the divisions into
-///   `divpd` — which costs ~2× the division throughput.
-/// * The bound state lives in locals (registers) across blocks and is
-///   written back once on exit.
-///
-/// The running bounds are monotone (the max only grows, the min only
-/// shrinks), so the end-of-block crossing test is exact: a crossing at
-/// any lane implies the block-end bounds cross, and vice versa. The
-/// rare crossing block is replayed sequentially to recover the scalar
-/// loop's exact exit state (crossing lane, pre-crossing `lower_old` /
-/// `upper_old`, prefix `sum`).
-#[inline(never)]
-#[allow(clippy::too_many_arguments)]
-fn bound_blocks8(
-    sizes_ahead: &[f64],
-    i: usize,
-    k: usize,
-    tau: f64,
-    d_bound: f64,
-    time: f64,
-    exact_prefix: bool,
-    lanes: &mut BlockLanes,
-    st: &mut BoundState,
-) -> (usize, bool) {
-    let len = sizes_ahead.len();
-    let mut sum = st.sum;
-    let mut lower = st.lower;
-    let mut upper = st.upper;
-    let mut h = 0usize;
-    while len - h >= DECIDE_BLOCK {
-        let sizes: &[f64; DECIDE_BLOCK] = sizes_ahead[h..h + DECIDE_BLOCK]
-            .try_into()
-            .expect("slice is exactly one block");
-        // `base + j as f64` equals `(i + h + j) as f64` bit for bit:
-        // both sides are integers below 2^53, so conversion and sum are
-        // exact. This keeps the denominator passes straight-line packed
-        // arithmetic.
-        let base_l = (i + h) as f64;
-        let base_u = (i + h + k + 1) as f64;
-        if exact_prefix {
-            // Hillis–Steele parallel scan. Every operand is a
-            // nonnegative integer-valued f64 with partial sums < 2^53
-            // (the `exact_prefix` contract), so each addition is exact
-            // and any association yields the same bits as the
-            // sequential chain — at a quarter of its latency. The
-            // quotient arrays double as scan temporaries; they are
-            // rewritten below.
-            lanes.qls[0] = sizes[0];
-            for j in 1..DECIDE_BLOCK {
-                lanes.qls[j] = sizes[j - 1] + sizes[j];
-            }
-            lanes.qus[0] = lanes.qls[0];
-            lanes.qus[1] = lanes.qls[1];
-            for j in 2..DECIDE_BLOCK {
-                lanes.qus[j] = lanes.qls[j - 2] + lanes.qls[j];
-            }
-            for j in 0..4 {
-                lanes.sums[j] = sum + lanes.qus[j];
-            }
-            for j in 4..DECIDE_BLOCK {
-                lanes.sums[j] = sum + (lanes.qus[j - 4] + lanes.qus[j]);
-            }
-        } else {
-            let mut s = sum;
-            for (j, &size) in sizes.iter().enumerate().take(DECIDE_BLOCK) {
-                s += size;
-                lanes.sums[j] = s;
-            }
-        }
-        for j in 0..DECIDE_BLOCK {
-            // r_L(h): delay-bound constraint (paper eq. 12).
-            lanes.dls[j] = d_bound + (base_l + j as f64) * tau - time;
-            // r_U(h): continuous-service constraint (paper eq. 13).
-            lanes.dus[j] = (base_u + j as f64) * tau - time;
-        }
-        // The quotients as *unconditional* elementwise passes (IEEE
-        // division cannot trap; packed division of the same operands
-        // gives the same bits as scalar). The nonpositive-denominator
-        // guard is a separate branchless select pass — a branch inside
-        // the division loop would block packing.
-        for j in 0..DECIDE_BLOCK {
-            lanes.qls[j] = lanes.sums[j] / lanes.dls[j];
-        }
-        for j in 0..DECIDE_BLOCK {
-            lanes.qus[j] = lanes.sums[j] / lanes.dus[j];
-        }
-        // Both denominator sequences are nondecreasing in the lane index:
-        // `base + j` is exact, multiplication by τ > 0 and the constant
-        // additions are weakly monotone under IEEE rounding. So a
-        // positive lane 0 makes every select below an identity, and the
-        // pass can be skipped — the common case once the schedule leaves
-        // the start-up transient.
-        if lanes.dls[0] <= 0.0 {
-            for j in 0..DECIDE_BLOCK {
-                lanes.qls[j] = if lanes.dls[j] > 0.0 {
-                    lanes.qls[j]
-                } else {
-                    f64::INFINITY
-                };
-            }
-        }
-        if lanes.dus[0] <= 0.0 {
-            for j in 0..DECIDE_BLOCK {
-                lanes.qus[j] = if lanes.dus[j] > 0.0 {
-                    lanes.qus[j]
-                } else {
-                    f64::INFINITY
-                };
-            }
-        }
-        if h == 0 {
-            // Bounds of lane 0 (the scalar loop's `h == 0` capture):
-            // the running values start at 0 / +inf, and lane quotients
-            // are positive or +inf, so the captured values equal the
-            // quotients.
-            st.lower0 = lanes.qls[0];
-            st.upper0 = lanes.qus[0];
-        }
-        // The running bounds live in the same NaN-free, −0-free domain
-        // (they start at +0 / +inf and only ever take lane values), so
-        // the compare-select forms stay bit-identical here too.
-        let block_lower = sel_max(lower, fold_max8(&lanes.qls));
-        let block_upper = sel_min(upper, fold_min8(&lanes.qus));
-        if block_lower > block_upper {
-            // Locate the crossing lane without replaying the scalar
-            // chain. First turn the lane quotients into inclusive
-            // running bounds in place (doubling scan; max/min are
-            // associative, commutative, and idempotent, so every scanned
-            // value equals the sequential chain's bit for bit):
-            for j in (1..DECIDE_BLOCK).rev() {
-                lanes.qls[j] = sel_max(lanes.qls[j], lanes.qls[j - 1]);
-                lanes.qus[j] = sel_min(lanes.qus[j], lanes.qus[j - 1]);
-            }
-            for j in (2..DECIDE_BLOCK).rev() {
-                lanes.qls[j] = sel_max(lanes.qls[j], lanes.qls[j - 2]);
-                lanes.qus[j] = sel_min(lanes.qus[j], lanes.qus[j - 2]);
-            }
-            for j in (4..DECIDE_BLOCK).rev() {
-                lanes.qls[j] = sel_max(lanes.qls[j], lanes.qls[j - 4]);
-                lanes.qus[j] = sel_min(lanes.qus[j], lanes.qus[j - 4]);
-            }
-            for j in 0..DECIDE_BLOCK {
-                lanes.qls[j] = sel_max(lower, lanes.qls[j]);
-                lanes.qus[j] = sel_min(upper, lanes.qus[j]);
-            }
-            // `qls[j] > qus[j]` is monotone in `j` (the running lower
-            // bound only grows, the upper only shrinks), so the number
-            // of still-overlapping lanes *is* the crossing lane index.
-            // Lane 7 crossed (that is `block_lower > block_upper`), so
-            // the count is at most 7; the `min` just tells the compiler.
-            let mut lane = 0usize;
-            for j in 0..DECIDE_BLOCK {
-                lane += (lanes.qls[j] <= lanes.qus[j]) as usize;
-            }
-            let lane = lane.min(DECIDE_BLOCK - 1);
-            st.lower_old = if lane == 0 {
-                lower
-            } else {
-                lanes.qls[lane - 1]
-            };
-            st.upper_old = if lane == 0 {
-                upper
-            } else {
-                lanes.qus[lane - 1]
-            };
-            st.sum = lanes.sums[lane];
-            st.lower = lanes.qls[lane];
-            st.upper = lanes.qus[lane];
-            return (h + lane + 1, true);
-        }
-        lower = block_lower;
-        upper = block_upper;
-        sum = lanes.sums[DECIDE_BLOCK - 1];
-        h += DECIDE_BLOCK;
-    }
-    st.sum = sum;
-    st.lower = lower;
-    st.upper = upper;
-    (h, false)
-}
+pub use crate::simd::BlockLanes;
+use crate::simd::{bound_blocks8, BoundState, DECIDE_BLOCK};
 
 /// Schedules one picture: the body of the paper's outer `repeat` loop.
 ///

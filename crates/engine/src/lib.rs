@@ -10,16 +10,24 @@
 //! arrival history that grew without bound. The engine replaces the
 //! per-stream objects with:
 //!
-//! * **Struct-of-arrays session store.** Per-session scalars (`decided`,
-//!   `depart`, `prev_rate`, `watermark`, history `base`/`len`) live in
-//!   parallel arrays inside a [`Shard`]; arrival history is a bounded
-//!   per-session slot in one flat ring buffer, pruned in whole GOP
-//!   periods under the estimator's
+//! * **Cache-compact struct-of-arrays session store.** Per-session
+//!   scalars (`decided`, `depart`, `prev_rate`, `watermark`, history
+//!   `base`/`len`) live in parallel arrays inside a [`Shard`], narrowed
+//!   to the smallest width their invariants allow (u32 picture indices,
+//!   u16 lengths and class ids; the authoritative times and rates stay
+//!   f64) with hot per-tick scalars split from cold configuration;
+//!   arrival history is a bounded per-session slot of **u32 size words**
+//!   in one flat ring buffer (picture sizes are bits-per-picture, far
+//!   below 2³²; widening back is exact, so no decision bit changes),
+//!   pruned in whole GOP periods under the estimator's
 //!   [`history_window`](smooth_core::SizeEstimator::history_window)
 //!   contract — so resident memory per session is O(H + N + K + D/τ),
-//!   not O(pictures pushed). Sliding [`smooth_core::LookaheadWindow`]s
-//!   are kept per session (the O(1)-per-picture fast path needs them);
-//!   decision scratch ([`smooth_core::BlockLanes`]) is per shard.
+//!   not O(pictures pushed), at roughly half the pre-compaction bytes
+//!   (see [`SessionEngine::state_bytes_per_session`]). Sliding
+//!   [`smooth_core::LookaheadWindow`]s are kept per session (the
+//!   O(1)-per-picture fast path needs them); decision scratch
+//!   ([`smooth_core::BlockLanes`]) and the widened staging tail are per
+//!   shard.
 //! * **Tick scheduler.** [`SessionEngine::tick`] feeds every session its
 //!   next picture and drains all decisions whose paper preconditions are
 //!   now met, via [`smooth_core::decide_live`] — the *same* decision
@@ -53,7 +61,7 @@ use smooth_core::{
     PatternEstimator, PictureSchedule, RateSelection, SizeEstimator, SizeHistory, SmootherParams,
 };
 use smooth_mpeg::GopPattern;
-use smooth_sweep::par_map;
+use smooth_sweep::{par_map, par_map_pinned};
 
 pub mod mux;
 pub mod synthetic;
@@ -69,6 +77,10 @@ pub const SESSIONS_PER_SHARD: usize = 4096;
 /// coded size (bits) of session `s`'s picture `p` (display order). A
 /// pure function of its arguments, so ticks can re-derive sizes instead
 /// of storing a megasession's worth of traces.
+///
+/// The engine's compact history ring stores sizes as `u32` words;
+/// feeding a picture of 2³² bits (≈ 0.5 GB) or more panics with a clear
+/// message. Real MPEG pictures are orders of magnitude below this.
 pub trait SizeSource: Sync {
     /// Coded size of picture `picture` of session `session`, in bits.
     fn size(&self, session: u64, picture: u64) -> u64;
@@ -126,6 +138,11 @@ impl ClassInfo {
         let backlog =
             (class.params.delay_bound / class.params.tau).ceil() as usize + class.params.k + 1;
         let ring_cap = 2 * (backlog + hist + n + 2) + 16;
+        // The compact layout stores retained lengths as `u16`.
+        assert!(
+            ring_cap <= u16::MAX as usize,
+            "per-session history slot ({ring_cap} sizes) exceeds the u16 length word"
+        );
         ClassInfo {
             class,
             hist,
@@ -144,44 +161,74 @@ fn fnv(digest: u64, word: u64) -> u64 {
 
 /// One shard's struct-of-arrays session store. Index `j` is the
 /// shard-local session slot; all vectors run in lockstep.
+///
+/// The layout is **cache-compact**: hot per-tick scalars are narrowed
+/// to the smallest width their invariants allow and kept apart from
+/// cold, rarely-written configuration; the session id is derived from
+/// the slot (`first_sid + j`) instead of stored; and the history ring
+/// packs each size into a `u32` fixed-point word (picture sizes are
+/// bits-per-picture, far below 2³² — the push path checks). Every
+/// narrowed field widens *exactly* (`u32 → u64`/`usize`/`f64` are all
+/// value-preserving), so schedules are bit-identical to the wide
+/// layout — pinned by the engine-vs-[`smooth_core::OnlineSmoother`]
+/// proptests.
 struct Shard {
-    class_of: Vec<u32>,
-    sid: Vec<u64>,
-    /// Start of session `j`'s history slot in `ring`.
-    ring_off: Vec<usize>,
-    /// Flat history storage: session `j` retains logical pictures
-    /// `base[j] .. base[j] + len[j]` at `ring[ring_off[j] ..]`.
-    ring: Vec<u64>,
-    base: Vec<usize>,
-    len: Vec<u32>,
-    decided: Vec<usize>,
+    /// Session id of slot 0; slot `j` holds session `first_sid + j`
+    /// ([`SessionEngine::add_sessions`] hands out consecutive ids).
+    first_sid: u64,
+    // --- hot scalars: read and written every tick ---
+    /// Decisions already emitted (the next undecided picture index).
+    decided: Vec<u32>,
+    /// Retained history length in sizes; bounded by the class
+    /// `ring_cap`, which [`ClassInfo::new`] asserts fits `u16`.
+    len: Vec<u16>,
+    /// High-water mark of the visible prefix length consulted so far.
+    watermark: Vec<u32>,
+    /// Departure time of the last decided picture (authoritative `f64`).
     depart: Vec<f64>,
+    /// Rate of the last decided picture (meaningful when `decided > 0`).
     prev_rate: Vec<f64>,
-    watermark: Vec<usize>,
     /// FNV-1a fingerprint of every decision emitted by session `j`
     /// (index, start, rate, depart bits) — the determinism witness.
     digest: Vec<u64>,
+    // --- cold: written only at creation or on (rare) compaction ---
+    /// Logical index of the first retained size (whole-pattern cut).
+    base: Vec<u32>,
+    class_of: Vec<u16>,
+    /// Start of session `j`'s history slot in `ring`.
+    ring_off: Vec<u32>,
+    /// Flat history storage, one fixed slot per session: session `j`
+    /// retains logical pictures `base[j] .. base[j] + len[j]` at
+    /// `ring[ring_off[j] ..]`, each size a checked-narrowed `u32`.
+    ring: Vec<u32>,
     windows: Vec<LookaheadWindow>,
+    /// Widened `u64` mirror of the *active* session's retained tail:
+    /// refilled when a session is entered (once per batch), kept in
+    /// sync by push/prune, and always L1-hot — [`decide_live`] reads
+    /// sizes from here, so only the halved `u32` ring streams from
+    /// DRAM. The widening is exact, so this changes no bits.
+    stage: Vec<u64>,
     /// Decision scratch, shared by every session of the shard.
     lanes: BlockLanes,
     decisions: u64,
 }
 
 impl Shard {
-    fn new() -> Self {
+    fn new(first_sid: u64) -> Self {
         Shard {
-            class_of: Vec::new(),
-            sid: Vec::new(),
-            ring_off: Vec::new(),
-            ring: Vec::new(),
-            base: Vec::new(),
-            len: Vec::new(),
+            first_sid,
             decided: Vec::new(),
+            len: Vec::new(),
+            watermark: Vec::new(),
             depart: Vec::new(),
             prev_rate: Vec::new(),
-            watermark: Vec::new(),
             digest: Vec::new(),
+            base: Vec::new(),
+            class_of: Vec::new(),
+            ring_off: Vec::new(),
+            ring: Vec::new(),
             windows: Vec::new(),
+            stage: Vec::new(),
             lanes: BlockLanes::default(),
             decisions: 0,
         }
@@ -191,10 +238,10 @@ impl Shard {
         self.class_of.len()
     }
 
-    fn push_session(&mut self, class_id: u32, sid: u64, info: &ClassInfo) {
+    fn push_session(&mut self, class_id: u16, info: &ClassInfo) {
         self.class_of.push(class_id);
-        self.sid.push(sid);
-        self.ring_off.push(self.ring.len());
+        let off = u32::try_from(self.ring.len()).expect("shard ring offset fits u32");
+        self.ring_off.push(off);
         self.ring.resize(self.ring.len() + info.ring_cap, 0);
         self.base.push(0);
         self.len.push(0);
@@ -220,7 +267,7 @@ impl Shard {
         let mut made = 0u64;
         for j in 0..self.count() {
             self.prefetch(j + 1);
-            made += self.step(j, classes, source, push, ended, sink);
+            made += self.run_session(j, classes, source, u64::from(push), ended, sink);
         }
         self.decisions += made;
         made
@@ -247,12 +294,7 @@ impl Shard {
         let mut sink = |_: u64, _: &PictureSchedule| {};
         for j in 0..self.count() {
             self.prefetch(j + 1);
-            for _ in 0..ticks {
-                made += self.step(j, classes, source, true, false, &mut sink);
-            }
-            if finish {
-                made += self.step(j, classes, source, false, true, &mut sink);
-            }
+            made += self.run_session(j, classes, source, ticks, finish, &mut sink);
         }
         self.decisions += made;
         made
@@ -265,46 +307,51 @@ impl Shard {
     fn prefetch(&self, j: usize) {
         if let Some(next) = self.windows.get(j) {
             next.prewarm();
-            std::hint::black_box(self.ring.get(self.ring_off[j]).copied());
+            std::hint::black_box(self.ring.get(self.ring_off[j] as usize).copied());
         }
     }
 
-    /// One tick of one session: optionally push the next picture and
-    /// drain every decision now decidable. Returns the decisions made.
-    #[inline(always)]
-    fn step<S: SizeSource, F: FnMut(u64, &PictureSchedule)>(
+    /// Runs session `j` through `live_ticks` pushes plus, when `finish`
+    /// is set, the end-of-stream drain. Every per-session scalar is
+    /// loaded into a local once, carried through the whole batch, and
+    /// stored back once — the arrays see one load and one store per
+    /// batch, not per tick. Returns the decisions made.
+    fn run_session<S: SizeSource, F: FnMut(u64, &PictureSchedule)>(
         &mut self,
         j: usize,
         classes: &[ClassInfo],
         source: &S,
-        push: bool,
-        ended: bool,
+        live_ticks: u64,
+        finish: bool,
         sink: &mut F,
     ) -> u64 {
-        let mut made = 0u64;
         let info = &classes[self.class_of[j] as usize];
-        let off = self.ring_off[j];
-
-        if push {
-            if self.len[j] as usize == info.ring_cap {
-                self.force_compact(j, info);
-            }
-            let pushed = self.base[j] + self.len[j] as usize;
-            let size = source.size(self.sid[j], pushed as u64);
-            self.ring[off + self.len[j] as usize] = size;
-            self.len[j] += 1;
-        }
+        let off = self.ring_off[j] as usize;
+        let cap = info.ring_cap;
+        let n = info.class.pattern.n();
+        let sid = self.first_sid + j as u64;
 
         let mut cursor = LiveCursor {
-            decided: self.decided[j],
+            decided: self.decided[j] as usize,
             depart: self.depart[j],
             prev_rate: if self.decided[j] > 0 {
                 Some(self.prev_rate[j])
             } else {
                 None
             },
-            watermark: self.watermark[j],
+            watermark: self.watermark[j] as usize,
         };
+        let mut base = self.base[j] as usize;
+        let mut len = self.len[j] as usize;
+        let mut digest = self.digest[j];
+        let mut made = 0u64;
+
+        // Stage the retained tail as `u64` once per batch (exact
+        // widening); decisions read the L1-hot stage, not the ring.
+        self.stage.clear();
+        self.stage
+            .extend(self.ring[off..off + len].iter().map(|&s| u64::from(s)));
+
         let cfg = LiveParams {
             params: &info.class.params,
             pattern: info.class.pattern,
@@ -312,75 +359,89 @@ impl Shard {
             selection: info.class.selection,
             total: None,
         };
-        let history = SizeHistory {
-            base: self.base[j],
-            tail: &self.ring[off..off + self.len[j] as usize],
-        };
-        let mut digest = self.digest[j];
-        while let Some(decision) = decide_live(
-            &cfg,
-            history,
-            ended,
-            &mut cursor,
-            &mut self.windows[j],
-            &mut self.lanes,
-        ) {
-            digest = fnv(digest, decision.index as u64);
-            digest = fnv(digest, decision.start.to_bits());
-            digest = fnv(digest, decision.rate.to_bits());
-            digest = fnv(digest, decision.depart.to_bits());
-            made += 1;
-            sink(self.sid[j], &decision);
+
+        let steps = live_ticks + u64::from(finish);
+        for t in 0..steps {
+            let live = t < live_ticks;
+            if live {
+                if len == cap {
+                    // The push path found the slot full: prune now or
+                    // die. Theorem 1 bounds the live tail well below
+                    // `ring_cap`, so an empty prune here means the slot
+                    // was mis-sized — a bug, not a load condition.
+                    let cut = prunable_prefix(&cursor, Some(info.hist), n);
+                    let drop = cut.saturating_sub(base);
+                    assert!(
+                        drop > 0,
+                        "session {sid} history slot full ({cap} sizes) with nothing prunable"
+                    );
+                    self.ring.copy_within(off + drop..off + len, off);
+                    self.stage.copy_within(drop..len, 0);
+                    len -= drop;
+                    self.stage.truncate(len);
+                    base = cut;
+                    // The window caches base-shifted coordinates; force
+                    // a refill (bit-identical to sliding — pinned by
+                    // the lookahead proptests).
+                    self.windows[j].reset();
+                }
+                let size = source.size(sid, (base + len) as u64);
+                self.ring[off + len] = u32::try_from(size).unwrap_or_else(|_| {
+                    panic!("picture size {size} bits exceeds the engine's u32 size word")
+                });
+                self.stage.push(size);
+                len += 1;
+            }
+            let ended = !live;
+            loop {
+                let history = SizeHistory {
+                    base,
+                    tail: &self.stage[..len],
+                };
+                let Some(decision) = decide_live(
+                    &cfg,
+                    history,
+                    ended,
+                    &mut cursor,
+                    &mut self.windows[j],
+                    &mut self.lanes,
+                ) else {
+                    break;
+                };
+                digest = fnv(digest, decision.index as u64);
+                digest = fnv(digest, decision.start.to_bits());
+                digest = fnv(digest, decision.rate.to_bits());
+                digest = fnv(digest, decision.depart.to_bits());
+                made += 1;
+                sink(sid, &decision);
+            }
+
+            // Lazy prune: drop the decided-and-unneeded prefix once it
+            // covers at least half the retained slice (amortized O(1)
+            // per push).
+            let cut = prunable_prefix(&cursor, Some(info.hist), n);
+            let drop = cut.saturating_sub(base);
+            if drop > 0 && drop >= len / 2 {
+                self.ring.copy_within(off + drop..off + len, off);
+                self.stage.copy_within(drop..len, 0);
+                len -= drop;
+                self.stage.truncate(len);
+                base = cut;
+                self.windows[j].reset();
+            }
         }
-        self.decided[j] = cursor.decided;
+
+        self.decided[j] = u32::try_from(cursor.decided).expect("picture index fits u32");
+        self.watermark[j] = u32::try_from(cursor.watermark).expect("watermark fits u32");
+        self.base[j] = u32::try_from(base).expect("history base fits u32");
+        // len <= ring_cap, asserted to fit u16 at class construction.
+        self.len[j] = len as u16;
         self.depart[j] = cursor.depart;
         if let Some(r) = cursor.prev_rate {
             self.prev_rate[j] = r;
         }
-        self.watermark[j] = cursor.watermark;
         self.digest[j] = digest;
-
-        // Lazy prune: drop the decided-and-unneeded prefix once it
-        // covers at least half the retained slice (amortized O(1)
-        // per push).
-        let cut = prunable_prefix(&cursor, Some(info.hist), info.class.pattern.n());
-        let drop = cut.saturating_sub(self.base[j]);
-        if drop > 0 && drop >= (self.len[j] as usize) / 2 {
-            self.compact(j, drop, cut);
-        }
         made
-    }
-
-    /// The push path found the slot full: prune now or die. Theorem 1
-    /// bounds the live tail well below `ring_cap`, so an empty prune
-    /// here means the slot was mis-sized — a bug, not a load condition.
-    fn force_compact(&mut self, j: usize, info: &ClassInfo) {
-        let cursor = LiveCursor {
-            decided: self.decided[j],
-            depart: self.depart[j],
-            prev_rate: None,
-            watermark: self.watermark[j],
-        };
-        let cut = prunable_prefix(&cursor, Some(info.hist), info.class.pattern.n());
-        let drop = cut.saturating_sub(self.base[j]);
-        assert!(
-            drop > 0,
-            "session {} history slot full ({} sizes) with nothing prunable",
-            self.sid[j],
-            info.ring_cap
-        );
-        self.compact(j, drop, cut);
-    }
-
-    fn compact(&mut self, j: usize, drop: usize, cut: usize) {
-        let off = self.ring_off[j];
-        let len = self.len[j] as usize;
-        self.ring.copy_within(off + drop..off + len, off);
-        self.len[j] = (len - drop) as u32;
-        self.base[j] = cut;
-        // The window caches base-shifted coordinates; force a refill
-        // (bit-identical to sliding — pinned by the lookahead proptests).
-        self.windows[j].reset();
     }
 }
 
@@ -430,6 +491,12 @@ impl SessionEngine {
     pub fn with_shard_size(classes: Vec<SessionClass>, shard_size: usize) -> Self {
         assert!(!classes.is_empty(), "at least one session class");
         assert!(shard_size > 0, "shard size must be positive");
+        // The compact layout stores class ids as `u16`.
+        assert!(
+            classes.len() <= 1 << 16,
+            "at most 65536 session classes ({} given)",
+            classes.len()
+        );
         SessionEngine {
             classes: classes.into_iter().map(ClassInfo::new).collect(),
             shards: Vec::new(),
@@ -455,9 +522,9 @@ impl SessionEngine {
         assert!(class_id < self.classes.len(), "unknown class {class_id}");
         let info = &self.classes[class_id];
         for _ in 0..count {
-            let sid = self.sessions as u64;
             if self.sessions % self.shard_size == 0 {
-                self.shards.push(Mutex::new(Shard::new()));
+                self.shards
+                    .push(Mutex::new(Shard::new(self.sessions as u64)));
             }
             let shard = self
                 .shards
@@ -465,9 +532,53 @@ impl SessionEngine {
                 .expect("just ensured")
                 .get_mut()
                 .expect("unshared");
-            shard.push_session(class_id as u32, sid, info);
+            shard.push_session(class_id as u16, info);
             self.sessions += 1;
         }
+    }
+
+    /// Like [`add_sessions`](Self::add_sessions), but constructs the new
+    /// shards **in parallel with first-touch placement**: worker `w`
+    /// (pinned to logical CPU `w`, best-effort) allocates and fills
+    /// shards `w, w + threads, …` of the new range — the same static
+    /// shard→thread striping [`run_pinned`](Self::run_pinned) uses — so
+    /// each shard's memory is first touched by the thread that will
+    /// advance it (on NUMA machines, in that thread's local node).
+    /// Shard contents are a pure function of the session ids, so the
+    /// resulting engine is indistinguishable from one built by
+    /// [`add_sessions`](Self::add_sessions) (pinned by tests).
+    ///
+    /// # Panics
+    ///
+    /// As [`add_sessions`](Self::add_sessions); additionally, placed
+    /// growth must start on a shard boundary (the current session count
+    /// a multiple of the shard size).
+    pub fn add_sessions_placed(&mut self, class_id: usize, count: usize, threads: usize) {
+        assert!(
+            self.ticks == 0 && !self.ended,
+            "add sessions before ticking"
+        );
+        assert!(class_id < self.classes.len(), "unknown class {class_id}");
+        assert!(
+            self.sessions % self.shard_size == 0,
+            "placed growth must start on a shard boundary"
+        );
+        let info = &self.classes[class_id];
+        let shard_size = self.shard_size;
+        let first = self.sessions as u64;
+        let shard_count = count.div_ceil(shard_size);
+        let idx: Vec<usize> = (0..shard_count).collect();
+        let built = par_map_pinned(threads, &idx, |_, &s| {
+            let first_sid = first + (s * shard_size) as u64;
+            let in_shard = shard_size.min(count - s * shard_size);
+            let mut shard = Shard::new(first_sid);
+            for _ in 0..in_shard {
+                shard.push_session(class_id as u16, info);
+            }
+            Mutex::new(shard)
+        });
+        self.shards.extend(built);
+        self.sessions += count;
     }
 
     /// Number of sessions in the fleet.
@@ -493,6 +604,31 @@ impl SessionEngine {
     /// pictures a session is fed.
     pub fn class_ring_cap(&self, class_id: usize) -> usize {
         self.classes[class_id].ring_cap
+    }
+
+    /// Resident array bytes per session of a class under the compact
+    /// layout: the narrowed hot and cold scalars plus the `u32` history
+    /// slot. This is what a batch streams from memory per session (the
+    /// per-session [`LookaheadWindow`] heap block, ~`H + N` f64 slots,
+    /// is reported by [`window_bytes_per_session`]
+    /// (Self::window_bytes_per_session)) — the numerator of the
+    /// roofline's bytes-per-decision in DESIGN.md §6.
+    pub fn state_bytes_per_session(&self, class_id: usize) -> usize {
+        use std::mem::size_of;
+        // Hot: decided u32, len u16, watermark u32, depart f64,
+        // prev_rate f64, digest u64.
+        let hot = size_of::<u32>() * 2 + size_of::<u16>() + size_of::<f64>() * 2 + size_of::<u64>();
+        // Cold: base u32, class_of u16, ring_off u32.
+        let cold = size_of::<u32>() * 2 + size_of::<u16>();
+        hot + cold + size_of::<u32>() * self.classes[class_id].ring_cap
+    }
+
+    /// Approximate per-session lookahead-window heap bytes of a class:
+    /// the window retains `H` lookahead slots plus up to `N` estimate
+    /// slots between slides.
+    pub fn window_bytes_per_session(&self, class_id: usize) -> usize {
+        let info = &self.classes[class_id];
+        std::mem::size_of::<f64>() * (info.class.params.h + info.class.pattern.n())
     }
 
     /// Feeds every session its next picture from `source` and drains all
@@ -558,6 +694,39 @@ impl SessionEngine {
         let shards = &self.shards;
         let idx: Vec<usize> = (0..shards.len()).collect();
         let made = par_map(threads, &idx, |_, &s| {
+            let mut shard = shards[s].lock().expect("shard poisoned");
+            shard.advance_batch(classes, source, ticks, finish)
+        });
+        self.ticks += ticks;
+        self.ended = finish;
+        made.into_iter().sum()
+    }
+
+    /// [`run`](Self::run) with **static shard→thread striping and
+    /// pinned workers** ([`smooth_sweep::par_map_pinned`]): worker `w`
+    /// advances shards `w, w + threads, …`, so across repeated calls
+    /// with the same `threads` every shard stays with one thread — and,
+    /// when the shards were built by
+    /// [`add_sessions_placed`](Self::add_sessions_placed) at the same
+    /// worker count, with the thread that first touched its memory.
+    /// Bit-identical to [`run`](Self::run) for any thread count (shards
+    /// are disjoint; only placement differs) — pinned by tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics after [`finish`](Self::finish).
+    pub fn run_pinned<S: SizeSource>(
+        &mut self,
+        source: &S,
+        ticks: u64,
+        finish: bool,
+        threads: usize,
+    ) -> u64 {
+        assert!(!self.ended, "tick after finish");
+        let classes = &self.classes;
+        let shards = &self.shards;
+        let idx: Vec<usize> = (0..shards.len()).collect();
+        let made = par_map_pinned(threads, &idx, |_, &s| {
             let mut shard = shards[s].lock().expect("shard poisoned");
             shard.advance_batch(classes, source, ticks, finish)
         });
@@ -712,6 +881,36 @@ mod tests {
             assert_eq!(a.ticks(), b.ticks());
             assert!(b.is_finished());
         }
+    }
+
+    #[test]
+    fn placed_build_and_pinned_run_match_serial() {
+        let (mut a, fleet) = small_engine(16);
+        for _ in 0..33 {
+            a.tick(&fleet, 1);
+        }
+        a.finish(&fleet, 1);
+        let pattern = GopPattern::new(3, 9).unwrap();
+        let class = SessionClass::new(SmootherParams::at_30fps(0.2, 1, 9).unwrap(), pattern);
+        for threads in [1, 2, 5] {
+            let mut b = SessionEngine::with_shard_size(vec![class.clone()], 16);
+            b.add_sessions_placed(0, 50, threads);
+            assert_eq!(b.session_count(), 50);
+            b.run_pinned(&fleet, 33, true, threads);
+            assert_eq!(a.digest(), b.digest(), "threads={threads}");
+            assert_eq!(a.session_digests(), b.session_digests());
+            assert_eq!(a.decisions(), b.decisions());
+        }
+    }
+
+    #[test]
+    fn compact_layout_reports_session_bytes() {
+        let (engine, _) = small_engine(8);
+        let cap = engine.class_ring_cap(0);
+        let bytes = engine.state_bytes_per_session(0);
+        // 34 hot + 10 cold scalar bytes plus the u32 ring slot.
+        assert_eq!(bytes, 44 + 4 * cap);
+        assert!(engine.window_bytes_per_session(0) > 0);
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!                      [--sources N] [--capacity-mbps C] [--buffer-kbit B] [--mux-seed S]
 //! mpeg-smooth verify   --trace trace.csv --d 0.2 --k 1 --h 9
 //! mpeg-smooth sessions [--sessions N] [--pictures N] [--threads N] [--seed S]
+//! mpeg-smooth scale    [--sessions N] [--pictures N] [--repeats R]
+//!                      [--max-threads T] [--out BENCH_sweep.json]
 //! ```
 //!
 //! All functions take an output sink so the test suite can drive the CLI
@@ -112,6 +114,8 @@ usage:
                        [--sources N] [--capacity-mbps C] [--buffer-kbit B] [--mux-seed S]
   mpeg-smooth verify   --trace <trace.csv> --d <seconds> [--k K] [--h H]
   mpeg-smooth sessions [--sessions N] [--pictures N] [--threads N] [--seed S]
+  mpeg-smooth scale    [--sessions N] [--pictures N] [--repeats R]
+                       [--max-threads T] [--out <BENCH_sweep.json>]
   mpeg-smooth help
 ";
 
@@ -128,6 +132,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
         "sweep" => cmd_sweep(rest, out),
         "verify" => cmd_verify(rest, out),
         "sessions" => cmd_sessions(rest, out),
+        "scale" => cmd_scale(rest, out),
         "help" | "--help" | "-h" => {
             let _ = write!(out, "{USAGE}");
             Ok(0)
@@ -594,6 +599,119 @@ fn cmd_sessions(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
         out,
         "throughput: {rate:.0} decisions/s on {threads} thread(s) ({wall:.3}s)"
     );
+    Ok(0)
+}
+
+/// `scale`: regenerate the cores-vs-throughput curve standalone — the
+/// megasession engine at a 1, 2, 4, … worker ladder with cache-aware
+/// shard placement (first-touch construction by the advancing worker,
+/// static shard→thread striping, best-effort CPU pinning). Points are
+/// upserted into the `scaling[]` array of an existing `BENCH_sweep.json`
+/// when `--out` names one (dedup key: name + commit + threads), or into
+/// a fresh report otherwise.
+fn cmd_scale(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
+    use smooth_engine::{SessionClass, SessionEngine, SyntheticFleet};
+    use smooth_sweep::bench::{ScalingRecord, SweepBenchReport};
+    use smooth_sweep::ThreadSource;
+
+    let mut opts = Options::parse(args)?;
+    let sessions = opts.take_parsed::<usize>("sessions")?.unwrap_or(1_000_000);
+    let pictures = opts.take_parsed::<u64>("pictures")?.unwrap_or(32);
+    let repeats = opts.take_parsed::<usize>("repeats")?.unwrap_or(3);
+    let max_threads = opts
+        .take_parsed::<usize>("max-threads")?
+        .unwrap_or_else(smooth_sweep::logical_cores);
+    let out_path = opts.take("out");
+    opts.finish()?;
+    if sessions == 0 {
+        return Err(err("--sessions: must be at least 1"));
+    }
+    if pictures == 0 {
+        return Err(err("--pictures: must be at least 1"));
+    }
+    if repeats == 0 {
+        return Err(err("--repeats: must be at least 1"));
+    }
+    if max_threads == 0 {
+        return Err(err("--max-threads: must be at least 1"));
+    }
+
+    // The worker ladder: powers of two up to the cap, cap included.
+    let mut ladder = Vec::new();
+    let mut t = 1;
+    while t < max_threads {
+        ladder.push(t);
+        t *= 2;
+    }
+    ladder.push(max_threads);
+
+    let pattern = smooth_mpeg::GopPattern::new(3, 9).expect("(3,9) is valid");
+    let params = SmootherParams::at_30fps(0.2, 1, 9).expect("0.2 s is feasible");
+    let class = SessionClass::new(params, pattern);
+    let fleet = SyntheticFleet {
+        seed: 0x5e55be7c,
+        pattern,
+    };
+    let pinned = smooth_sweep::pinning_supported();
+    let _ = writeln!(
+        out,
+        "scale: {sessions} sessions x {pictures} pictures, ladder {ladder:?} \
+         ({} physical / {} logical cores, pinning {})",
+        smooth_sweep::physical_cores(),
+        smooth_sweep::logical_cores(),
+        if pinned { "on" } else { "unavailable" }
+    );
+
+    let mut records = Vec::new();
+    for &threads in &ladder {
+        let mut walls = Vec::with_capacity(repeats);
+        let mut decisions = 0u64;
+        let mut digest = 0u64;
+        for _ in 0..repeats {
+            let mut engine = SessionEngine::new(vec![class.clone()]);
+            engine.add_sessions_placed(0, sessions, threads);
+            let t0 = std::time::Instant::now();
+            engine.run_pinned(&fleet, pictures, true, threads);
+            walls.push(t0.elapsed().as_secs_f64());
+            decisions = engine.decisions();
+            digest = engine.digest();
+        }
+        let record = ScalingRecord::with_walls(
+            &format!("scale_synthetic_S{sessions}"),
+            sessions,
+            pictures,
+            decisions,
+            &walls,
+            threads,
+            pinned,
+            true,
+        );
+        let _ = writeln!(
+            out,
+            "T={threads}: {:.0} decisions/s ({decisions} decisions, {:.3}s min, \
+             {:.3}s median, digest {digest:016x})",
+            record.decisions_per_second,
+            record.wall_seconds,
+            record.wall_seconds_median.unwrap_or(0.0),
+        );
+        records.push(record);
+    }
+
+    if let Some(path) = out_path {
+        let p = std::path::Path::new(&path);
+        let mut report = if p.exists() {
+            SweepBenchReport::load(p).map_err(|e| err(format!("loading {path}: {e}")))?
+        } else {
+            SweepBenchReport::with_thread_source(max_threads, ThreadSource::Flag)
+        };
+        for record in records {
+            report.record_scaling(record);
+        }
+        report
+            .save(p)
+            .map_err(|e| err(format!("writing {path}: {e}")))?;
+        let _ = writeln!(out, "scaling[] -> {path}");
+    }
     Ok(0)
 }
 
@@ -1080,6 +1198,98 @@ mod tests {
             vec!["sessions", "--pictures", "0"],
             vec!["sessions", "--sessions", "abc"],
             vec!["sessions", "--wat", "1"],
+        ] {
+            let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            let mut out = Vec::new();
+            assert!(run(&args, &mut out).is_err(), "{args:?}");
+        }
+    }
+
+    #[test]
+    fn scale_reports_the_ladder_and_writes_scaling_records() {
+        let json_path = tmp("scale_report.json");
+        let _ = std::fs::remove_file(&json_path);
+        let (code, text) = run_cli(&[
+            "scale",
+            "--sessions",
+            "400",
+            "--pictures",
+            "10",
+            "--repeats",
+            "1",
+            "--max-threads",
+            "3",
+            "--out",
+            &json_path,
+        ]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("ladder [1, 2, 3]"), "{text}");
+        assert!(text.contains("T=1:"), "{text}");
+        assert!(text.contains("T=3:"), "{text}");
+        assert!(text.contains("4000 decisions"), "{text}");
+        let report = smooth_sweep::bench::SweepBenchReport::load(std::path::Path::new(&json_path))
+            .expect("scale report");
+        assert_eq!(report.scaling.len(), 3);
+        assert!(report.scaling.iter().all(|r| r.sessions == 400));
+        assert!(report.scaling.iter().all(|r| r.first_touch));
+
+        // A second run upserts instead of appending duplicates.
+        let (code, _) = run_cli(&[
+            "scale",
+            "--sessions",
+            "400",
+            "--pictures",
+            "10",
+            "--repeats",
+            "1",
+            "--max-threads",
+            "3",
+            "--out",
+            &json_path,
+        ]);
+        assert_eq!(code, 0);
+        let report = smooth_sweep::bench::SweepBenchReport::load(std::path::Path::new(&json_path))
+            .expect("scale report");
+        assert_eq!(report.scaling.len(), 3);
+    }
+
+    #[test]
+    fn scale_digest_is_thread_count_invariant() {
+        let digest_of = |max: &str| {
+            let (code, text) = run_cli(&[
+                "scale",
+                "--sessions",
+                "200",
+                "--pictures",
+                "8",
+                "--repeats",
+                "1",
+                "--max-threads",
+                max,
+            ]);
+            assert_eq!(code, 0, "{text}");
+            text.lines()
+                .filter_map(|l| l.split("digest ").nth(1))
+                .map(|d| d.trim_end_matches(')').to_string())
+                .collect::<Vec<_>>()
+        };
+        let serial = digest_of("1");
+        assert_eq!(serial.len(), 1);
+        let ladder = digest_of("4");
+        assert_eq!(ladder.len(), 3); // T = 1, 2, 4
+        for d in &ladder {
+            assert_eq!(d, &serial[0]);
+        }
+    }
+
+    #[test]
+    fn scale_rejects_degenerate_options() {
+        for args in [
+            vec!["scale", "--sessions", "0"],
+            vec!["scale", "--pictures", "0"],
+            vec!["scale", "--repeats", "0"],
+            vec!["scale", "--max-threads", "0"],
+            vec!["scale", "--wat", "1"],
         ] {
             let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
             let mut out = Vec::new();

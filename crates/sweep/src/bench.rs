@@ -16,6 +16,26 @@ use serde::{Deserialize, Serialize};
 
 use crate::ThreadSource;
 
+/// Min / median / spread (max − min) of a repeated wall-time sample.
+/// The min is the noise-robust point estimate the records headline;
+/// median and spread expose how noisy the box was. Empty samples give
+/// `(0, 0, 0)`.
+pub fn wall_stats(walls: &[f64]) -> (f64, f64, f64) {
+    if walls.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let mut sorted = walls.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    let median = if sorted.len() % 2 == 1 {
+        sorted[sorted.len() / 2]
+    } else {
+        0.5 * (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2])
+    };
+    (min, median, max - min)
+}
+
 /// Timing for one named unit of sweep work (usually a figure).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FigureTiming {
@@ -49,12 +69,23 @@ pub struct ThroughputRecord {
     pub name: String,
     /// Pictures scheduled.
     pub pictures: u64,
-    /// Wall-clock seconds.
+    /// Wall-clock seconds (min over repeats).
     pub wall_seconds: f64,
+    /// Median wall seconds over the repeats (`None` on legacy records
+    /// and single-shot measurements).
+    #[serde(default)]
+    pub wall_seconds_median: Option<f64>,
+    /// Max − min wall seconds over the repeats.
+    #[serde(default)]
+    pub wall_seconds_spread: Option<f64>,
     /// `pictures / wall_seconds`.
     pub pictures_per_sec: f64,
     /// Worker threads the measurement used (1 = serial hot path).
     pub threads: usize,
+    /// Commit the record was measured at — stamped by
+    /// [`SweepBenchReport::record_throughput`], part of the dedup key.
+    #[serde(default)]
+    pub git_commit: Option<String>,
 }
 
 impl ThroughputRecord {
@@ -64,13 +95,26 @@ impl ThroughputRecord {
             name: name.to_string(),
             pictures,
             wall_seconds,
+            wall_seconds_median: None,
+            wall_seconds_spread: None,
             pictures_per_sec: if wall_seconds > 0.0 {
                 pictures as f64 / wall_seconds
             } else {
                 0.0
             },
             threads,
+            git_commit: None,
         }
+    }
+
+    /// Builds a record from the full repeat sample, headlining the min
+    /// and carrying median/spread.
+    pub fn with_walls(name: &str, pictures: u64, walls: &[f64], threads: usize) -> Self {
+        let (min, median, spread) = wall_stats(walls);
+        let mut rec = Self::new(name, pictures, min, threads);
+        rec.wall_seconds_median = Some(median);
+        rec.wall_seconds_spread = Some(spread);
+        rec
     }
 }
 
@@ -88,6 +132,12 @@ pub struct MuxThroughputRecord {
     pub events: u64,
     /// Streaming-engine wall seconds (min over repeats).
     pub wall_seconds: f64,
+    /// Median wall seconds over the repeats (`None` on legacy records).
+    #[serde(default)]
+    pub wall_seconds_median: Option<f64>,
+    /// Max − min wall seconds over the repeats.
+    #[serde(default)]
+    pub wall_seconds_spread: Option<f64>,
     /// `events / wall_seconds`.
     pub events_per_sec: f64,
     /// Frozen `mux::reference` wall seconds (min over repeats), when the
@@ -99,6 +149,11 @@ pub struct MuxThroughputRecord {
     pub speedup: Option<f64>,
     /// Worker threads the engine measurement used.
     pub threads: usize,
+    /// Commit the record was measured at — stamped by
+    /// [`SweepBenchReport::record_mux_throughput`], part of the dedup
+    /// key.
+    #[serde(default)]
+    pub git_commit: Option<String>,
 }
 
 impl MuxThroughputRecord {
@@ -116,6 +171,8 @@ impl MuxThroughputRecord {
             sources,
             events,
             wall_seconds,
+            wall_seconds_median: None,
+            wall_seconds_spread: None,
             events_per_sec: if wall_seconds > 0.0 {
                 events as f64 / wall_seconds
             } else {
@@ -130,7 +187,25 @@ impl MuxThroughputRecord {
                 }
             }),
             threads,
+            git_commit: None,
         }
+    }
+
+    /// Builds a record from the full engine repeat sample, headlining
+    /// the min and carrying median/spread.
+    pub fn with_walls(
+        name: &str,
+        sources: usize,
+        events: u64,
+        walls: &[f64],
+        reference_seconds: Option<f64>,
+        threads: usize,
+    ) -> Self {
+        let (min, median, spread) = wall_stats(walls);
+        let mut rec = Self::new(name, sources, events, min, reference_seconds, threads);
+        rec.wall_seconds_median = Some(median);
+        rec.wall_seconds_spread = Some(spread);
+        rec
     }
 }
 
@@ -149,10 +224,21 @@ pub struct SessionThroughputRecord {
     pub decisions: u64,
     /// Wall-clock seconds (min over repeats).
     pub wall_seconds: f64,
+    /// Median wall seconds over the repeats (`None` on legacy records).
+    #[serde(default)]
+    pub wall_seconds_median: Option<f64>,
+    /// Max − min wall seconds over the repeats.
+    #[serde(default)]
+    pub wall_seconds_spread: Option<f64>,
     /// `decisions / wall_seconds`.
     pub decisions_per_second: f64,
     /// Worker threads the measurement used (1 = serial).
     pub threads: usize,
+    /// Commit the record was measured at — stamped by
+    /// [`SweepBenchReport::record_session_throughput`], part of the
+    /// dedup key.
+    #[serde(default)]
+    pub git_commit: Option<String>,
 }
 
 impl SessionThroughputRecord {
@@ -171,12 +257,105 @@ impl SessionThroughputRecord {
             ticks,
             decisions,
             wall_seconds,
+            wall_seconds_median: None,
+            wall_seconds_spread: None,
             decisions_per_second: if wall_seconds > 0.0 {
                 decisions as f64 / wall_seconds
             } else {
                 0.0
             },
             threads,
+            git_commit: None,
+        }
+    }
+
+    /// Builds a record from the full repeat sample, headlining the min
+    /// and carrying median/spread.
+    pub fn with_walls(
+        name: &str,
+        sessions: usize,
+        ticks: u64,
+        decisions: u64,
+        walls: &[f64],
+        threads: usize,
+    ) -> Self {
+        let (min, median, spread) = wall_stats(walls);
+        let mut rec = Self::new(name, sessions, ticks, decisions, min, threads);
+        rec.wall_seconds_median = Some(median);
+        rec.wall_seconds_spread = Some(spread);
+        rec
+    }
+}
+
+/// One point of the cores-vs-throughput scaling curve: the 1M-session
+/// engine run at a fixed worker count with cache-aware placement
+/// (static shard→thread striping, per-worker first-touch construction,
+/// best-effort pinning). The `scaling[]` array of `BENCH_sweep.json`
+/// holds the whole curve; on a 1-core box it is legitimately one point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingRecord {
+    /// Configuration label, e.g. `scale_synthetic_S1000000` (the worker
+    /// count lives in `threads`, part of the dedup key).
+    pub name: String,
+    /// Concurrent sessions in the fleet.
+    pub sessions: usize,
+    /// Lockstep ticks (pictures fed per session).
+    pub ticks: u64,
+    /// Total picture decisions made across the fleet.
+    pub decisions: u64,
+    /// Worker threads (the curve's x axis).
+    pub threads: usize,
+    /// Wall-clock seconds (min over repeats).
+    pub wall_seconds: f64,
+    /// Median wall seconds over the repeats.
+    #[serde(default)]
+    pub wall_seconds_median: Option<f64>,
+    /// Max − min wall seconds over the repeats.
+    #[serde(default)]
+    pub wall_seconds_spread: Option<f64>,
+    /// `decisions / wall_seconds` (the curve's y axis).
+    pub decisions_per_second: f64,
+    /// Whether shard→thread pinning actually took effect.
+    pub pinned: bool,
+    /// Whether shards were first-touch-constructed by their own worker.
+    pub first_touch: bool,
+    /// Commit the point was measured at — stamped by
+    /// [`SweepBenchReport::record_scaling`], part of the dedup key.
+    #[serde(default)]
+    pub git_commit: Option<String>,
+}
+
+impl ScalingRecord {
+    /// Builds a point from the full repeat sample, headlining the min.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_walls(
+        name: &str,
+        sessions: usize,
+        ticks: u64,
+        decisions: u64,
+        walls: &[f64],
+        threads: usize,
+        pinned: bool,
+        first_touch: bool,
+    ) -> Self {
+        let (min, median, spread) = wall_stats(walls);
+        ScalingRecord {
+            name: name.to_string(),
+            sessions,
+            ticks,
+            decisions,
+            threads,
+            wall_seconds: min,
+            wall_seconds_median: Some(median),
+            wall_seconds_spread: Some(spread),
+            decisions_per_second: if min > 0.0 {
+                decisions as f64 / min
+            } else {
+                0.0
+            },
+            pinned,
+            first_touch,
+            git_commit: None,
         }
     }
 }
@@ -192,8 +371,23 @@ pub struct SweepBenchReport {
     /// Where `threads` came from: `"flag"`, `"env"`, or `"cores"`.
     #[serde(default)]
     pub thread_source: String,
-    /// Cores the machine reported at run time.
+    /// Cores the machine reported at run time
+    /// ([`std::thread::available_parallelism`] — logical CPUs).
     pub available_cores: usize,
+    /// Physical cores (unique `(package, core)` pairs from
+    /// `/proc/cpuinfo`); equals `logical_cores` when SMT is off or the
+    /// topology is unreadable. 0 on legacy reports.
+    #[serde(default)]
+    pub physical_cores: usize,
+    /// Logical CPUs, recorded explicitly next to `physical_cores` so a
+    /// curve measured across SMT siblings cannot masquerade as one
+    /// measured across real cores. 0 on legacy reports.
+    #[serde(default)]
+    pub logical_cores: usize,
+    /// Whether shard→thread pinning (`sched_setaffinity`) was available
+    /// to the timed runs.
+    #[serde(default)]
+    pub pinned: bool,
     /// Commit the numbers were measured at (`git rev-parse HEAD`), empty
     /// when git was unavailable.
     #[serde(default)]
@@ -212,6 +406,10 @@ pub struct SweepBenchReport {
     /// fields.
     #[serde(default)]
     pub session_throughput: Vec<SessionThroughputRecord>,
+    /// Cores-vs-throughput scaling curve (see [`ScalingRecord`]); one
+    /// point per measured worker count.
+    #[serde(default)]
+    pub scaling: Vec<ScalingRecord>,
     pub total_seconds: f64,
 }
 
@@ -226,31 +424,73 @@ impl SweepBenchReport {
         SweepBenchReport {
             threads,
             thread_source: source.as_str().to_string(),
-            available_cores: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            available_cores: crate::place::logical_cores(),
+            physical_cores: crate::place::physical_cores(),
+            logical_cores: crate::place::logical_cores(),
+            pinned: crate::place::pinning_supported(),
             git_commit: current_git_commit().unwrap_or_default(),
             figures: Vec::new(),
             throughput: Vec::new(),
             mux_throughput: Vec::new(),
             session_throughput: Vec::new(),
+            scaling: Vec::new(),
             total_seconds: 0.0,
         }
     }
 
-    /// Appends a throughput measurement.
-    pub fn record_throughput(&mut self, record: ThroughputRecord) {
+    /// The commit stamp new records carry: the report's commit, `None`
+    /// when git was unavailable.
+    fn record_commit(&self) -> Option<String> {
+        if self.git_commit.is_empty() {
+            None
+        } else {
+            Some(self.git_commit.clone())
+        }
+    }
+
+    /// Appends a throughput measurement, replacing any existing record
+    /// with the same `(name, git_commit, threads)` — repeated local runs
+    /// refresh their numbers instead of growing the file without bound.
+    pub fn record_throughput(&mut self, mut record: ThroughputRecord) {
+        record.git_commit = self.record_commit();
+        self.throughput.retain(|r| {
+            (&r.name, &r.git_commit, r.threads)
+                != (&record.name, &record.git_commit, record.threads)
+        });
         self.throughput.push(record);
     }
 
-    /// Appends a multiplexer-throughput measurement.
-    pub fn record_mux_throughput(&mut self, record: MuxThroughputRecord) {
+    /// Appends a multiplexer-throughput measurement, deduplicating by
+    /// `(name, git_commit, threads)`.
+    pub fn record_mux_throughput(&mut self, mut record: MuxThroughputRecord) {
+        record.git_commit = self.record_commit();
+        self.mux_throughput.retain(|r| {
+            (&r.name, &r.git_commit, r.threads)
+                != (&record.name, &record.git_commit, record.threads)
+        });
         self.mux_throughput.push(record);
     }
 
-    /// Appends a session-engine throughput measurement.
-    pub fn record_session_throughput(&mut self, record: SessionThroughputRecord) {
+    /// Appends a session-engine throughput measurement, deduplicating by
+    /// `(name, git_commit, threads)`.
+    pub fn record_session_throughput(&mut self, mut record: SessionThroughputRecord) {
+        record.git_commit = self.record_commit();
+        self.session_throughput.retain(|r| {
+            (&r.name, &r.git_commit, r.threads)
+                != (&record.name, &record.git_commit, record.threads)
+        });
         self.session_throughput.push(record);
+    }
+
+    /// Appends a scaling-curve point, deduplicating by
+    /// `(name, git_commit, threads)`.
+    pub fn record_scaling(&mut self, mut record: ScalingRecord) {
+        record.git_commit = self.record_commit();
+        self.scaling.retain(|r| {
+            (&r.name, &r.git_commit, r.threads)
+                != (&record.name, &record.git_commit, record.threads)
+        });
+        self.scaling.push(record);
     }
 
     /// Times `f`, records it under `name`, and returns its output.
@@ -384,6 +624,98 @@ mod tests {
         assert!(report.throughput.is_empty());
         assert!(report.mux_throughput.is_empty());
         assert!(report.session_throughput.is_empty());
+        assert!(report.scaling.is_empty());
+        assert_eq!(report.physical_cores, 0);
+        assert_eq!(report.logical_cores, 0);
+        assert!(!report.pinned);
+    }
+
+    #[test]
+    fn wall_stats_reports_min_median_spread() {
+        assert_eq!(wall_stats(&[]), (0.0, 0.0, 0.0));
+        assert_eq!(wall_stats(&[2.0]), (2.0, 2.0, 0.0));
+        let (min, median, spread) = wall_stats(&[3.0, 1.0, 2.0, 5.0, 4.0]);
+        assert_eq!((min, median, spread), (1.0, 3.0, 4.0));
+        let (min, median, spread) = wall_stats(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!((min, median, spread), (1.0, 2.5, 3.0));
+    }
+
+    #[test]
+    fn with_walls_carries_the_sample_summary() {
+        let r = ThroughputRecord::with_walls("t", 100, &[0.5, 0.25, 1.0], 1);
+        assert_eq!(r.wall_seconds, 0.25);
+        assert_eq!(r.wall_seconds_median, Some(0.5));
+        assert_eq!(r.wall_seconds_spread, Some(0.75));
+        assert!((r.pictures_per_sec - 400.0).abs() < 1e-9);
+        let s = SessionThroughputRecord::with_walls("s", 10, 4, 40, &[2.0, 4.0], 1);
+        assert_eq!(s.wall_seconds, 2.0);
+        assert_eq!(s.wall_seconds_median, Some(3.0));
+        let m = MuxThroughputRecord::with_walls("m", 3, 30, &[0.1, 0.3], None, 1);
+        assert_eq!(m.wall_seconds_median, Some(0.2));
+        let p = ScalingRecord::with_walls("p", 10, 4, 40, &[1.0, 3.0], 2, true, true);
+        assert_eq!(p.wall_seconds, 1.0);
+        assert_eq!(p.threads, 2);
+        assert!((p.decisions_per_second - 40.0).abs() < 1e-9);
+        assert!(p.pinned && p.first_touch);
+    }
+
+    #[test]
+    fn record_append_dedups_by_name_commit_and_threads() {
+        let mut report = SweepBenchReport::with_thread_source(1, ThreadSource::Cores);
+        report.record_session_throughput(SessionThroughputRecord::new("a", 10, 4, 40, 2.0, 1));
+        report.record_session_throughput(SessionThroughputRecord::new("a", 10, 4, 40, 1.0, 1));
+        assert_eq!(report.session_throughput.len(), 1, "same key replaces");
+        assert_eq!(report.session_throughput[0].wall_seconds, 1.0);
+        report.record_session_throughput(SessionThroughputRecord::new("a", 10, 4, 40, 1.0, 2));
+        assert_eq!(
+            report.session_throughput.len(),
+            2,
+            "new thread count appends"
+        );
+        // A record measured at a different commit never collides.
+        let mut foreign = SessionThroughputRecord::new("a", 10, 4, 40, 3.0, 1);
+        foreign.git_commit = Some("older".into());
+        report.session_throughput.push(foreign);
+        report.record_session_throughput(SessionThroughputRecord::new("a", 10, 4, 40, 0.5, 1));
+        assert_eq!(report.session_throughput.len(), 3);
+
+        report.record_scaling(ScalingRecord::with_walls(
+            "sc",
+            10,
+            4,
+            40,
+            &[1.0],
+            1,
+            false,
+            true,
+        ));
+        report.record_scaling(ScalingRecord::with_walls(
+            "sc",
+            10,
+            4,
+            40,
+            &[2.0],
+            1,
+            false,
+            true,
+        ));
+        assert_eq!(report.scaling.len(), 1);
+        assert_eq!(report.scaling[0].wall_seconds, 2.0);
+        report.record_throughput(ThroughputRecord::new("t", 5, 1.0, 1));
+        report.record_throughput(ThroughputRecord::new("t", 5, 2.0, 1));
+        assert_eq!(report.throughput.len(), 1);
+        report.record_mux_throughput(MuxThroughputRecord::new("m", 2, 10, 1.0, None, 1));
+        report.record_mux_throughput(MuxThroughputRecord::new("m", 2, 10, 2.0, None, 1));
+        assert_eq!(report.mux_throughput.len(), 1);
+    }
+
+    #[test]
+    fn provenance_records_core_topology() {
+        let report = SweepBenchReport::with_thread_source(1, ThreadSource::Cores);
+        assert!(report.logical_cores >= 1);
+        assert!(report.physical_cores >= 1);
+        assert!(report.physical_cores <= report.logical_cores);
+        assert_eq!(report.available_cores, report.logical_cores);
     }
 
     #[test]

@@ -21,6 +21,13 @@
 //! the `SMOOTH_THREADS` environment variable, else all cores
 //! ([`std::thread::available_parallelism`]).
 
+// `unsafe` is denied everywhere except the one hand-declared
+// `sched_setaffinity` FFI call in [`place`], which scopes an `allow`
+// and documents its safety argument; nested unsafe operations always
+// need their own block.
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -31,8 +38,12 @@ use smooth_core::{
 use smooth_trace::VideoTrace;
 
 pub mod bench;
+pub mod place;
 pub mod reduce;
 
+pub use place::{
+    logical_cores, par_map_pinned, physical_cores, pin_current_thread, pinning_supported,
+};
 pub use reduce::{ShardPlan, SumTree};
 
 /// Process-wide thread-count override; 0 means unset.
