@@ -22,12 +22,16 @@
 //! ladder up to 10k — or at exactly `--sources N` when given) and
 //! session-engine throughput (aggregate decisions/sec for a fleet of
 //! concurrent live sessions, over a session ladder up to 1M — or at
-//! exactly `--sessions N` when given) and a cores-vs-throughput scaling
-//! curve (the same fleet at a 1, 2, 4, … worker ladder with pinned
-//! workers and first-touch shard placement, recorded as `scaling[]`).
+//! exactly `--sessions N` when given) and event-driven churn throughput
+//! (the timing-wheel dynamic engine on a 24/25/30/60 fps mix under
+//! ~1 %/s live churn, recorded as `churn_throughput[]`) and a
+//! cores-vs-throughput scaling curve (the same fleet at a 1, 2, 4, …
+//! worker ladder with pinned workers and first-touch shard placement,
+//! recorded as `scaling[]`).
 
 use std::time::Instant;
 
+use smooth_bench::churnbench;
 use smooth_bench::experiments;
 use smooth_bench::muxbench;
 use smooth_bench::scalebench;
@@ -242,6 +246,31 @@ fn main() {
             record.threads
         );
         report.record_session_throughput(record);
+    }
+    println!();
+
+    // Churn throughput: the acceptance gauge for the event-driven
+    // dynamic engine — heterogeneous fps mix under ~1 %/s live churn
+    // (see crates/bench/src/churnbench.rs).
+    println!("==================== churn throughput ====================");
+    let churn_records = match sessions_opt {
+        Some(sessions) => churnbench::scaled_churn_suite(threads, sessions),
+        None => churnbench::standard_churn_suite(threads),
+    };
+    for record in churn_records {
+        println!(
+            "{}: {:.0} decisions/s ({} sessions, {} ppm/s churn, {} joined, {} ticks, {} decisions, {:.3}s, {} thread(s))",
+            record.name,
+            record.decisions_per_second,
+            record.sessions,
+            record.churn_ppm_per_sec,
+            record.joined,
+            record.ticks,
+            record.decisions,
+            record.wall_seconds,
+            record.threads
+        );
+        report.record_churn_throughput(record);
     }
     println!();
 

@@ -1,0 +1,143 @@
+//! Event-driven churn throughput: aggregate picture decisions per
+//! second while the fleet itself churns ([`smooth_engine::DynamicEngine`]).
+//!
+//! Where `sessionbench.rs` measures the lockstep path (every session on
+//! the same 30 fps clock, every session decided every tick), this
+//! measures the timing-wheel path the ROADMAP's dynamic-workload framing
+//! asks for: heterogeneous picture clocks (equal-weight 24/25/30/60 fps)
+//! and a seeded arrival/departure process recycling slots live. The
+//! standard point ramps to `sessions` live, then churns ~1 % of the
+//! fleet per simulated second over one further second.
+//!
+//! Each measurement replays the same deterministic
+//! [`churn_trace`](smooth_engine::churn_trace) into a fresh engine per
+//! repeat and times **only** [`DynamicEngine::run_trace`] — trace
+//! generation and engine construction are excluded — keeping the min
+//! over [`crate::throughput::MEASURE_REPEATS`] runs. Records land in
+//! `BENCH_sweep.json` as `churn_throughput[]`.
+//!
+//! [`DynamicEngine::run_trace`]: smooth_engine::DynamicEngine::run_trace
+
+use std::time::Instant;
+
+use smooth_engine::{
+    churn_trace, fps_class, ChurnSpec, ChurnTrace, DynamicClass, DynamicEngine, SyntheticFleet,
+    TICKS_PER_SEC,
+};
+use smooth_sweep::bench::ChurnThroughputRecord;
+
+use crate::throughput::MEASURE_REPEATS;
+
+/// Simulated seconds each measurement replays (ramp + churn).
+pub const CHURN_SECONDS: u64 = 2;
+
+/// Churn intensity: 1 % of the initial fleet per simulated second.
+pub const CHURN_PPM_PER_SEC: u64 = 10_000;
+
+/// The standard initial-fleet size for `BENCH_sweep.json`.
+pub const STANDARD_CHURN_SESSIONS: usize = 1_000_000;
+
+/// Shard size the measurements use (matches the scale smoke test).
+pub const CHURN_SHARD_SIZE: usize = 4096;
+
+/// The heterogeneous mix every churn measurement runs: equal-weight
+/// 24/25/30/60 fps classes of the paper-recommended smoother.
+pub fn standard_mix() -> (Vec<DynamicClass>, Vec<u32>) {
+    let classes: Vec<_> = [24u64, 25, 30, 60].iter().map(|&f| fps_class(f)).collect();
+    let weights = vec![1u32; classes.len()];
+    (classes, weights)
+}
+
+/// The deterministic churn trace a measurement at `sessions` replays:
+/// seeded ramp over the first second, then `churn_ppm_per_sec` of the
+/// initial fleet joining and leaving per second until the horizon.
+pub fn standard_trace(sessions: usize, seconds: u64, churn_ppm_per_sec: u64) -> ChurnTrace {
+    let (classes, weights) = standard_mix();
+    churn_trace(&ChurnSpec {
+        seed: 0xC_0041_7E57,
+        initial: sessions,
+        weights,
+        periods: classes.iter().map(|c| c.period_ticks).collect(),
+        ticks_per_sec: TICKS_PER_SEC,
+        horizon: TICKS_PER_SEC * seconds,
+        churn_ppm_per_sec,
+    })
+}
+
+/// Times the dynamic engine replaying the standard churn trace at
+/// `sessions` initial fleet and `threads` workers. Trace generation and
+/// engine construction are untimed; the clock covers exactly the
+/// event-driven replay (wheel ticks, churn, decisions).
+pub fn measure_churn(sessions: usize, threads: usize) -> ChurnThroughputRecord {
+    let trace = standard_trace(sessions, CHURN_SECONDS, CHURN_PPM_PER_SEC);
+    let (classes, _) = standard_mix();
+    let src = SyntheticFleet {
+        seed: 0xC_0041_7E57,
+        pattern: classes[0].class.pattern,
+    };
+    let mut walls = Vec::with_capacity(MEASURE_REPEATS);
+    let mut decisions = 0u64;
+    let mut joined = 0u64;
+    for _ in 0..MEASURE_REPEATS {
+        let mut engine = DynamicEngine::new(classes.clone(), trace.peak_live, CHURN_SHARD_SIZE)
+            .expect("standard mix is valid");
+        let t0 = Instant::now();
+        engine
+            .run_trace(&src, &trace, threads)
+            .expect("trace fits capacity");
+        walls.push(t0.elapsed().as_secs_f64());
+        std::hint::black_box(engine.digest());
+        decisions = engine.decisions();
+        joined = engine.joined();
+    }
+    ChurnThroughputRecord::with_walls(
+        &format!("churn_synthetic_S{sessions}"),
+        sessions,
+        CHURN_PPM_PER_SEC,
+        joined,
+        trace.horizon,
+        decisions,
+        &walls,
+        threads,
+    )
+}
+
+/// The records `BENCH_sweep.json` carries by default: one point at the
+/// standard 1M-session fleet.
+pub fn standard_churn_suite(threads: usize) -> Vec<ChurnThroughputRecord> {
+    vec![measure_churn(STANDARD_CHURN_SESSIONS, threads)]
+}
+
+/// A single-point suite at an explicit fleet size (the `--sessions N`
+/// scale knob).
+pub fn scaled_churn_suite(threads: usize, sessions: usize) -> Vec<ChurnThroughputRecord> {
+    vec![measure_churn(sessions, threads)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_churn_fleet_measures_decisions_and_churn() {
+        let rec = measure_churn(200, 1);
+        assert_eq!(rec.sessions, 200);
+        assert_eq!(rec.churn_ppm_per_sec, CHURN_PPM_PER_SEC);
+        assert_eq!(rec.ticks, TICKS_PER_SEC * CHURN_SECONDS);
+        // The whole initial fleet joined (plus any churn arrivals).
+        assert!(rec.joined >= 200);
+        // The mixed clocks decide ~31 pictures/session over the
+        // post-ramp second, give or take the ramp's partial feeds.
+        assert!(rec.decisions > 200 * 20);
+        assert!(rec.decisions_per_second > 0.0);
+        assert_eq!(rec.threads, 1);
+        assert_eq!(rec.name, "churn_synthetic_S200");
+    }
+
+    #[test]
+    fn scaled_suite_is_one_point_at_the_requested_count() {
+        let recs = scaled_churn_suite(1, 150);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].sessions, 150);
+    }
+}

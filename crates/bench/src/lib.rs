@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod churnbench;
 pub mod experiments;
 pub mod muxbench;
 pub mod scalebench;

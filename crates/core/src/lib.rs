@@ -67,7 +67,7 @@ pub use estimate::{
     DefaultSizes, Invalidation, OracleEstimator, PatternEstimator, SizeEstimator,
     TypeDefaultEstimator,
 };
-pub use eventsim::{validate_against_events, EventSimReport};
+pub use eventsim::{validate_against_events, EventSimReport, TimingWheel};
 pub use lookahead::LookaheadWindow;
 pub use lossy::{cap_peak_with_quantizer, drop_b_pictures, BDropResult, QuantizerControlResult};
 pub use online::{

@@ -63,10 +63,126 @@ use smooth_core::{
 use smooth_mpeg::GopPattern;
 use smooth_sweep::{par_map, par_map_pinned};
 
+pub mod dynamic;
 pub mod mux;
+pub mod scanref;
 pub mod synthetic;
 
-pub use synthetic::SyntheticFleet;
+pub use dynamic::{
+    fps_class, DynamicClass, DynamicEngine, EngineCheckpoint, SessionSnapshot, ARRIVAL_BATCH,
+    TICKS_PER_SEC,
+};
+pub use synthetic::{churn_trace, ChurnEvent, ChurnSpec, ChurnTrace, SyntheticFleet};
+
+/// Errors constructing or operating a session engine: every narrowed
+/// width the compact store relies on (u16 retained-length words, u32
+/// ring offsets, u16 class ids) is guarded here with a typed error
+/// instead of a debug-only panic, so extreme-but-valid smoother
+/// parameters (huge `D/τ`, huge `N`) are rejected loudly at
+/// configuration time in every build profile.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// An engine needs at least one session class.
+    NoClasses,
+    /// Shard size must be positive.
+    ZeroShardSize,
+    /// Class ids are stored as `u16`.
+    TooManyClasses {
+        /// Classes requested (limit is 65 536).
+        classes: usize,
+    },
+    /// The class estimator declares no bounded history window, so the
+    /// fixed-slot ring cannot hold its history.
+    UnboundedEstimator,
+    /// The per-session history slot (`ring_cap`, a function of `D/τ`,
+    /// `K`, `H`, and `N`) exceeds the compact store's `u16` retained
+    /// -length word.
+    RingCapExceedsLenWord {
+        /// Required slot size in sizes.
+        ring_cap: usize,
+        /// The `u16` limit.
+        max: usize,
+    },
+    /// A shard's flat history ring (`shard_size · ring_cap` sizes)
+    /// exceeds the compact store's `u32` ring-offset word.
+    ShardRingExceedsOffsetWord {
+        /// Required ring length in sizes.
+        ring_slots: u128,
+        /// The `u32` limit.
+        max: u64,
+    },
+    /// The dynamic engine needs room for at least one session.
+    ZeroCapacity,
+    /// A class picture period must be at least one scheduler tick.
+    ZeroPeriod {
+        /// Offending class id.
+        class: usize,
+    },
+    /// Unknown class id.
+    UnknownClass {
+        /// Offending class id.
+        class: usize,
+    },
+    /// A join arrived with every slot of every shard occupied.
+    CapacityExhausted {
+        /// The engine's fixed session capacity.
+        capacity: usize,
+    },
+    /// Unknown or departed session id.
+    UnknownSession {
+        /// Offending session id.
+        sid: u64,
+    },
+    /// A snapshot's retained history does not fit its class's slot.
+    SnapshotHistoryTooLong {
+        /// Retained sizes in the snapshot.
+        len: usize,
+        /// The class's slot size.
+        ring_cap: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::NoClasses => write!(f, "at least one session class is required"),
+            EngineError::ZeroShardSize => write!(f, "shard size must be positive"),
+            EngineError::TooManyClasses { classes } => {
+                write!(f, "at most 65536 session classes ({classes} given)")
+            }
+            EngineError::UnboundedEstimator => {
+                write!(f, "engine estimator must declare a bounded history window")
+            }
+            EngineError::RingCapExceedsLenWord { ring_cap, max } => write!(
+                f,
+                "per-session history slot ({ring_cap} sizes) exceeds the u16 length word \
+                 (max {max}); lower D/τ, K, H, or N"
+            ),
+            EngineError::ShardRingExceedsOffsetWord { ring_slots, max } => write!(
+                f,
+                "shard history ring ({ring_slots} sizes) exceeds the u32 offset word \
+                 (max {max}); lower the shard size or the class ring slot"
+            ),
+            EngineError::ZeroCapacity => write!(f, "session capacity must be positive"),
+            EngineError::ZeroPeriod { class } => {
+                write!(f, "class {class}: picture period must be at least one tick")
+            }
+            EngineError::UnknownClass { class } => write!(f, "unknown class {class}"),
+            EngineError::CapacityExhausted { capacity } => {
+                write!(f, "all {capacity} session slots are occupied")
+            }
+            EngineError::UnknownSession { sid } => {
+                write!(f, "unknown or departed session {sid}")
+            }
+            EngineError::SnapshotHistoryTooLong { len, ring_cap } => write!(
+                f,
+                "snapshot retains {len} sizes but the class slot holds {ring_cap}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 /// Default sessions per shard. Fixed by session id — never by worker
 /// count — so the shard layout, and with it every output bit, is
@@ -114,48 +230,74 @@ impl SessionClass {
 
 /// Per-class derived constants, computed once at engine construction.
 #[derive(Debug, Clone)]
-struct ClassInfo {
-    class: SessionClass,
+pub(crate) struct ClassInfo {
+    pub(crate) class: SessionClass,
     /// The estimator's declared history window (`2N` for the pattern
     /// estimator).
-    hist: usize,
+    pub(crate) hist: usize,
     /// Fixed per-session history slot size. Sized from Theorem 1: the
     /// undecided backlog never exceeds ⌈D/τ⌉ + K (+1 for the picture
     /// pushed this tick); on top of that live tail the prune cut lags by
     /// at most the watermark lead (another backlog), the estimator
     /// window, and pattern alignment. Doubled so compaction is amortized
     /// (each memmove frees at least half the slot), plus slack.
-    ring_cap: usize,
+    pub(crate) ring_cap: usize,
 }
 
 impl ClassInfo {
-    fn new(class: SessionClass) -> Self {
-        let hist = class
-            .estimator
-            .history_window(&class.pattern)
-            .expect("engine estimator must support history compaction");
+    /// Derives the class constants, guarding every width the compact
+    /// store narrows to: the `u16` retained-length word bounds
+    /// `ring_cap`, which grows with `D/τ`, `K`, `H`, and `N` — extreme
+    /// but feasible parameters (say `D = 3000 s`, `τ = 1/30 s`) push it
+    /// past 65 535, and a fleet configured that way must be rejected at
+    /// construction in every build profile, not caught by a debug-only
+    /// index panic deep in the push path.
+    pub(crate) fn try_new(class: SessionClass) -> Result<Self, EngineError> {
+        let Some(hist) = class.estimator.history_window(&class.pattern) else {
+            return Err(EngineError::UnboundedEstimator);
+        };
         let n = class.pattern.n();
         let backlog =
             (class.params.delay_bound / class.params.tau).ceil() as usize + class.params.k + 1;
         let ring_cap = 2 * (backlog + hist + n + 2) + 16;
         // The compact layout stores retained lengths as `u16`.
-        assert!(
-            ring_cap <= u16::MAX as usize,
-            "per-session history slot ({ring_cap} sizes) exceeds the u16 length word"
-        );
-        ClassInfo {
+        if ring_cap > u16::MAX as usize {
+            return Err(EngineError::RingCapExceedsLenWord {
+                ring_cap,
+                max: u16::MAX as usize,
+            });
+        }
+        Ok(ClassInfo {
             class,
             hist,
             ring_cap,
-        }
+        })
     }
 }
 
-const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+/// Checks that a shard's flat history ring — `shard_size` slots of the
+/// largest class's `ring_cap` — stays addressable by the compact
+/// store's `u32` ring-offset word.
+pub(crate) fn check_shard_ring(
+    classes: &[ClassInfo],
+    shard_size: usize,
+) -> Result<(), EngineError> {
+    let widest = classes.iter().map(|c| c.ring_cap).max().unwrap_or(0);
+    let ring_slots = shard_size as u128 * widest as u128;
+    if ring_slots > u64::from(u32::MAX) as u128 {
+        return Err(EngineError::ShardRingExceedsOffsetWord {
+            ring_slots,
+            max: u64::from(u32::MAX),
+        });
+    }
+    Ok(())
+}
+
+pub(crate) const FNV_OFFSET: u64 = 0xcbf29ce484222325;
 const FNV_PRIME: u64 = 0x100000001b3;
 
 #[inline(always)]
-fn fnv(digest: u64, word: u64) -> u64 {
+pub(crate) fn fnv(digest: u64, word: u64) -> u64 {
     (digest ^ word).wrapping_mul(FNV_PRIME)
 }
 
@@ -487,24 +629,47 @@ impl SessionEngine {
     ///
     /// # Panics
     ///
-    /// Panics if `classes` is empty or `shard_size` is 0.
+    /// Panics on any configuration [`try_with_shard_size`]
+    /// (Self::try_with_shard_size) rejects.
     pub fn with_shard_size(classes: Vec<SessionClass>, shard_size: usize) -> Self {
-        assert!(!classes.is_empty(), "at least one session class");
-        assert!(shard_size > 0, "shard size must be positive");
+        Self::try_with_shard_size(classes, shard_size).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`with_shard_size`](Self::with_shard_size): rejects an
+    /// empty class list, a zero shard size, more classes than the `u16`
+    /// class word holds, and — the compact-store width guards — a class
+    /// whose history slot overflows the `u16` length word or a shard
+    /// ring that overflows the `u32` offset word, with a typed
+    /// [`EngineError`] instead of a debug-only panic.
+    pub fn try_with_shard_size(
+        classes: Vec<SessionClass>,
+        shard_size: usize,
+    ) -> Result<Self, EngineError> {
+        if classes.is_empty() {
+            return Err(EngineError::NoClasses);
+        }
+        if shard_size == 0 {
+            return Err(EngineError::ZeroShardSize);
+        }
         // The compact layout stores class ids as `u16`.
-        assert!(
-            classes.len() <= 1 << 16,
-            "at most 65536 session classes ({} given)",
-            classes.len()
-        );
-        SessionEngine {
-            classes: classes.into_iter().map(ClassInfo::new).collect(),
+        if classes.len() > 1 << 16 {
+            return Err(EngineError::TooManyClasses {
+                classes: classes.len(),
+            });
+        }
+        let classes = classes
+            .into_iter()
+            .map(ClassInfo::try_new)
+            .collect::<Result<Vec<_>, _>>()?;
+        check_shard_ring(&classes, shard_size)?;
+        Ok(SessionEngine {
+            classes,
             shards: Vec::new(),
             shard_size,
             sessions: 0,
             ticks: 0,
             ended: false,
-        }
+        })
     }
 
     /// Adds `count` sessions of class `class_id`. Sessions receive
@@ -829,6 +994,73 @@ mod tests {
                 pattern,
             },
         )
+    }
+
+    /// Satellite regression: the `u16` retained-length guard trips at
+    /// exactly the boundary. For pattern (3, 9) with `K = 1` the slot
+    /// is `2·⌈D/τ⌉ + 78` sizes, so `⌈D/τ⌉ = 32728` is the largest
+    /// admissible backlog (65 534 ≤ 65 535) and 32 729 must be rejected
+    /// with the typed error — not a debug-only panic downstream.
+    #[test]
+    fn ring_cap_u16_guard_trips_at_the_boundary() {
+        let pattern = GopPattern::new(3, 9).unwrap();
+        let class = |backlog: f64| {
+            SessionClass::new(
+                SmootherParams::new(backlog, 1, 9, 1.0).expect("feasible"),
+                pattern,
+            )
+        };
+        let ok = SessionEngine::try_with_shard_size(vec![class(32728.0)], 4).expect("at the limit");
+        assert_eq!(ok.class_ring_cap(0), 65534);
+        assert_eq!(
+            SessionEngine::try_with_shard_size(vec![class(32729.0)], 4).err(),
+            Some(EngineError::RingCapExceedsLenWord {
+                ring_cap: 65536,
+                max: 65535,
+            })
+        );
+        // The dynamic engine rejects the same class the same way.
+        let dyn_class = DynamicClass {
+            class: class(32729.0),
+            period_ticks: 20,
+        };
+        assert_eq!(
+            DynamicEngine::new(vec![dyn_class], 10, 4).err(),
+            Some(EngineError::RingCapExceedsLenWord {
+                ring_cap: 65536,
+                max: 65535,
+            })
+        );
+    }
+
+    /// Satellite regression: the `u32` shard-ring-offset guard trips at
+    /// exactly the boundary. The paper class's slot is 90 sizes, so
+    /// `⌊u32::MAX / 90⌋ = 47 721 858` sessions per shard still address
+    /// the flat ring and one more must be rejected.
+    #[test]
+    fn shard_ring_u32_guard_trips_at_the_boundary() {
+        let pattern = GopPattern::new(3, 9).unwrap();
+        let class = || SessionClass::new(SmootherParams::at_30fps(0.2, 1, 9).unwrap(), pattern);
+        let cap = SessionEngine::try_with_shard_size(vec![class()], 1)
+            .expect("valid")
+            .class_ring_cap(0);
+        assert_eq!(cap, 90);
+        let limit = u32::MAX as usize / cap;
+        assert!(SessionEngine::try_with_shard_size(vec![class()], limit).is_ok());
+        assert_eq!(
+            SessionEngine::try_with_shard_size(vec![class()], limit + 1).err(),
+            Some(EngineError::ShardRingExceedsOffsetWord {
+                ring_slots: (limit as u128 + 1) * cap as u128,
+                max: u64::from(u32::MAX),
+            })
+        );
+    }
+
+    /// The panicking constructor surfaces the typed error's message.
+    #[test]
+    #[should_panic(expected = "at least one session class")]
+    fn empty_class_list_panics_with_the_typed_message() {
+        let _ = SessionEngine::with_shard_size(vec![], 4);
     }
 
     #[test]

@@ -38,6 +38,185 @@ impl SizeSource for SyntheticFleet {
     }
 }
 
+/// splitmix64: the fleet's counter-based generator — every draw is a
+/// pure function of `(seed, counter)`, so a trace is reproducible from
+/// its spec alone.
+fn splitmix(seed: u64, counter: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(counter.wrapping_mul(0x9E3779B97F4A7C15))
+        .wrapping_add(0x2545F4914F6CDD1D);
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58476D1CE4E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    z
+}
+
+/// One churn event, anchored to a scheduler tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// A session joins: class, size-source stream id, and arrival phase
+    /// (its first picture arrives `1 + phase mod τ` ticks later).
+    Join {
+        /// Class id of the joining session.
+        class: u16,
+        /// Size-source stream id (decoupled from the session id).
+        stream: u64,
+        /// Arrival phase within the class period.
+        phase: u64,
+    },
+    /// Session `sid` departs (engine-assigned id: the `n`-th join in
+    /// trace order gets sid `n`).
+    Leave {
+        /// Departing session id.
+        sid: u64,
+    },
+}
+
+/// A pre-resolved, fully deterministic arrival/departure process: the
+/// same spec always yields the same events, and replaying the events
+/// yields the same fleet — the determinism witness for the dynamic
+/// engine's churn tests and benches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnTrace {
+    /// Events sorted by tick (ties in emission order: joins before
+    /// leaves within a tick).
+    pub events: Vec<(u64, ChurnEvent)>,
+    /// Last scheduler tick of the run.
+    pub horizon: u64,
+    /// Peak concurrent live sessions — the capacity the replaying
+    /// engine needs.
+    pub peak_live: usize,
+}
+
+/// Parameters of a [`churn_trace`]: a fleet ramped in over the first
+/// second, then symmetric join/leave churn at a fixed rate until the
+/// horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnSpec {
+    /// Trace seed.
+    pub seed: u64,
+    /// Initial fleet size, ramped in over the first simulated second.
+    pub initial: usize,
+    /// Per-class weights for the class of each joining session.
+    pub weights: Vec<u32>,
+    /// Per-class picture periods in ticks (for phase draws); same
+    /// length and order as the engine's class list.
+    pub periods: Vec<u64>,
+    /// Scheduler ticks per simulated second.
+    pub ticks_per_sec: u64,
+    /// Last tick of the trace.
+    pub horizon: u64,
+    /// Join rate — and, symmetrically, leave rate — in parts-per-
+    /// million of `initial` per second; `10_000` is 1 %/s churn.
+    pub churn_ppm_per_sec: u64,
+}
+
+/// Generates the deterministic churn trace for `spec`: `initial` joins
+/// staggered over the first second (classes weighted, phases hashed),
+/// then, from the second second on, joins and leaves accumulated by
+/// exact integer arithmetic at `churn_ppm_per_sec` — no floats, so the
+/// event list is a pure function of the spec on every platform. Within
+/// a tick joins precede leaves; leave victims are drawn uniformly from
+/// the live fleet.
+pub fn churn_trace(spec: &ChurnSpec) -> ChurnTrace {
+    assert!(!spec.weights.is_empty(), "at least one class weight");
+    assert_eq!(
+        spec.weights.len(),
+        spec.periods.len(),
+        "one period per class weight"
+    );
+    assert!(spec.ticks_per_sec > 0, "positive tick rate");
+    let total_weight: u64 = spec.weights.iter().map(|&w| u64::from(w)).sum();
+    assert!(total_weight > 0, "class weights must not all be zero");
+
+    let mut gen = ChurnGen {
+        spec,
+        total_weight,
+        events: Vec::new(),
+        live: Vec::new(),
+        next_sid: 0,
+        draws: 0,
+    };
+
+    // Ramp the initial fleet in over the first second.
+    let ramp = spec.ticks_per_sec.min(spec.horizon + 1);
+    for i in 0..spec.initial {
+        let tick = (i as u64 * ramp) / (spec.initial as u64).max(1);
+        gen.join(tick);
+    }
+    let mut peak = gen.live.len();
+
+    // Steady churn from the second second on: exact integer
+    // accumulators, `num/denom` events per tick.
+    let num = spec.initial as u64 * spec.churn_ppm_per_sec;
+    let denom = 1_000_000 * spec.ticks_per_sec;
+    let mut acc_join = 0u64;
+    let mut acc_leave = 0u64;
+    for t in spec.ticks_per_sec..=spec.horizon {
+        acc_join += num;
+        while acc_join >= denom {
+            acc_join -= denom;
+            gen.join(t);
+        }
+        peak = peak.max(gen.live.len());
+        acc_leave += num;
+        while acc_leave >= denom && !gen.live.is_empty() {
+            acc_leave -= denom;
+            let victim = (gen.draw() % gen.live.len() as u64) as usize;
+            let sid = gen.live.swap_remove(victim);
+            gen.events.push((t, ChurnEvent::Leave { sid }));
+        }
+    }
+    ChurnTrace {
+        events: gen.events,
+        horizon: spec.horizon,
+        peak_live: peak,
+    }
+}
+
+/// Generator state of [`churn_trace`].
+struct ChurnGen<'a> {
+    spec: &'a ChurnSpec,
+    total_weight: u64,
+    events: Vec<(u64, ChurnEvent)>,
+    live: Vec<u64>,
+    next_sid: u64,
+    draws: u64,
+}
+
+impl ChurnGen<'_> {
+    fn draw(&mut self) -> u64 {
+        let v = splitmix(self.spec.seed, self.draws);
+        self.draws += 1;
+        v
+    }
+
+    fn join(&mut self, tick: u64) {
+        let mut pick = self.draw() % self.total_weight;
+        let mut class = 0usize;
+        for (c, &w) in self.spec.weights.iter().enumerate() {
+            if pick < u64::from(w) {
+                class = c;
+                break;
+            }
+            pick -= u64::from(w);
+        }
+        let phase = self.draw() % self.spec.periods[class];
+        self.events.push((
+            tick,
+            ChurnEvent::Join {
+                class: class as u16,
+                stream: self.next_sid,
+                phase,
+            },
+        ));
+        self.live.push(self.next_sid);
+        self.next_sid += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

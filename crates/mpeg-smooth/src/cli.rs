@@ -13,9 +13,18 @@
 //!                      [--sources N] [--capacity-mbps C] [--buffer-kbit B] [--mux-seed S]
 //! mpeg-smooth verify   --trace trace.csv --d 0.2 --k 1 --h 9
 //! mpeg-smooth sessions [--sessions N] [--pictures N] [--threads N] [--seed S]
+//!                      [--classes 24:1,30:2]
+//! mpeg-smooth churn    [--sessions N] [--seconds S] [--churn-ppm P] [--threads N]
+//!                      [--seed S] [--classes 24:1,25:1,30:1,60:1] [--shard-size N]
+//!                      [--batch B] [--repeats R] [--out BENCH_sweep.json]
 //! mpeg-smooth scale    [--sessions N] [--pictures N] [--repeats R]
 //!                      [--max-threads T] [--out BENCH_sweep.json]
 //! ```
+//!
+//! The fleet commands (`sessions`, `churn`) print the decision digest on
+//! a stable machine-parsable line — `fleet_digest=<16 hex digits>` — the
+//! determinism witness scripts can grep for, identical for every thread
+//! count.
 //!
 //! All functions take an output sink so the test suite can drive the CLI
 //! without spawning processes.
@@ -114,6 +123,10 @@ usage:
                        [--sources N] [--capacity-mbps C] [--buffer-kbit B] [--mux-seed S]
   mpeg-smooth verify   --trace <trace.csv> --d <seconds> [--k K] [--h H]
   mpeg-smooth sessions [--sessions N] [--pictures N] [--threads N] [--seed S]
+                       [--classes <fps:weight,...>]
+  mpeg-smooth churn    [--sessions N] [--seconds S] [--churn-ppm P] [--threads N]
+                       [--seed S] [--classes <fps:weight,...>] [--shard-size N]
+                       [--batch B] [--repeats R] [--out <BENCH_sweep.json>]
   mpeg-smooth scale    [--sessions N] [--pictures N] [--repeats R]
                        [--max-threads T] [--out <BENCH_sweep.json>]
   mpeg-smooth help
@@ -132,6 +145,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
         "sweep" => cmd_sweep(rest, out),
         "verify" => cmd_verify(rest, out),
         "sessions" => cmd_sessions(rest, out),
+        "churn" => cmd_churn(rest, out),
         "scale" => cmd_scale(rest, out),
         "help" | "--help" | "-h" => {
             let _ = write!(out, "{USAGE}");
@@ -540,10 +554,77 @@ fn cmd_sweep(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
     Ok(0)
 }
 
+/// Parses a `--classes` fps mix (`24:1,25:1,30:2`; the weight defaults
+/// to 1) into [`smooth_engine::fps_class`] classes plus their weights.
+/// Each fps must divide the scheduler clock
+/// ([`smooth_engine::TICKS_PER_SEC`] = 600 ticks/s) so picture periods
+/// are whole ticks.
+fn parse_classes(raw: &str) -> Result<(Vec<smooth_engine::DynamicClass>, Vec<u32>), CliError> {
+    use smooth_engine::{fps_class, TICKS_PER_SEC};
+
+    let mut classes = Vec::new();
+    let mut weights = Vec::new();
+    for part in raw.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (fps_str, weight_str) = match part.split_once(':') {
+            Some((f, w)) => (f, Some(w)),
+            None => (part, None),
+        };
+        let fps: u64 = fps_str
+            .parse()
+            .map_err(|_| err(format!("--classes: cannot parse fps {fps_str:?}")))?;
+        if fps == 0 || TICKS_PER_SEC % fps != 0 {
+            return Err(err(format!(
+                "--classes: fps {fps} does not divide the {TICKS_PER_SEC} ticks/s clock \
+                 (try 24, 25, 30, or 60)"
+            )));
+        }
+        let weight: u32 = match weight_str {
+            None => 1,
+            Some(w) => w
+                .parse()
+                .map_err(|_| err(format!("--classes: cannot parse weight {w:?}")))?,
+        };
+        if weight == 0 {
+            return Err(err("--classes: weights must be at least 1"));
+        }
+        classes.push(fps_class(fps));
+        weights.push(weight);
+    }
+    if classes.is_empty() {
+        return Err(err("--classes: empty list"));
+    }
+    Ok((classes, weights))
+}
+
+/// Splits `total` sessions across classes proportionally to `weights`
+/// (largest-remainder, so the counts sum exactly to `total`).
+fn split_by_weight(total: usize, weights: &[u32]) -> Vec<usize> {
+    let sum: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+    let mut counts: Vec<usize> = weights
+        .iter()
+        .map(|&w| (total as u64 * u64::from(w) / sum) as usize)
+        .collect();
+    let mut assigned: usize = counts.iter().sum();
+    let n = counts.len();
+    let mut i = 0;
+    while assigned < total {
+        counts[i % n] += 1;
+        assigned += 1;
+        i += 1;
+    }
+    counts
+}
+
 /// `sessions`: advance a fleet of concurrent live smoothing sessions
-/// (synthetic picture sizes, the paper-recommended class) through the
-/// session engine and report aggregate throughput plus the decision
-/// digest — the determinism witness, identical for every thread count.
+/// (synthetic picture sizes, the paper-recommended class — or a
+/// `--classes` fps mix) through the session engine and report aggregate
+/// throughput plus the decision digest — the determinism witness,
+/// identical for every thread count and echoed on the machine-parsable
+/// `fleet_digest=` line.
 fn cmd_sessions(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
     use smooth_engine::{SessionClass, SessionEngine, SyntheticFleet};
 
@@ -552,6 +633,7 @@ fn cmd_sessions(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
     let pictures = opts.take_parsed::<u64>("pictures")?.unwrap_or(32);
     let threads = smooth_sweep::resolve_threads(opts.take_parsed::<usize>("threads")?);
     let seed = opts.take_parsed::<u64>("seed")?.unwrap_or(0x5e55be7c);
+    let classes_raw = opts.take("classes");
     opts.finish()?;
     if sessions == 0 {
         return Err(err("--sessions: must be at least 1"));
@@ -561,12 +643,49 @@ fn cmd_sessions(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
     }
 
     let pattern = smooth_mpeg::GopPattern::new(3, 9).expect("(3,9) is valid");
-    let params = SmootherParams::at_30fps(0.2, 1, 9).expect("0.2 s is feasible");
-    let class = SessionClass::new(params, pattern);
     let fleet = SyntheticFleet { seed, pattern };
-    let mut engine = SessionEngine::new(vec![class]);
-    engine.add_sessions(0, sessions);
-    let cap = engine.class_ring_cap(0);
+    let mut engine;
+    match classes_raw.as_deref() {
+        None => {
+            // The paper-recommended single class at 30 fps.
+            let params = SmootherParams::at_30fps(0.2, 1, 9).expect("0.2 s is feasible");
+            let class = SessionClass::new(params, pattern);
+            engine = SessionEngine::new(vec![class]);
+            engine.add_sessions(0, sessions);
+            let cap = engine.class_ring_cap(0);
+            let _ = writeln!(
+                out,
+                "sessions: {sessions} concurrent x {pictures} pictures (seed {seed:#x})"
+            );
+            let _ = writeln!(
+                out,
+                "class: D={:.4}s K={} H={} pattern {pattern}, ring slot {cap} sizes/session",
+                params.delay_bound, params.k, params.h
+            );
+        }
+        Some(raw) => {
+            // A heterogeneous fps mix: one engine class per entry,
+            // sessions split proportionally to the weights. Lockstep
+            // ticks feed every class; the per-class τ shapes the
+            // smoother's delay budget.
+            let (mix, weights) = parse_classes(raw)?;
+            let counts = split_by_weight(sessions, &weights);
+            engine = SessionEngine::new(mix.iter().map(|c| c.class.clone()).collect());
+            for (i, &n) in counts.iter().enumerate() {
+                engine.add_sessions(i, n);
+            }
+            let _ = writeln!(
+                out,
+                "sessions: {sessions} concurrent x {pictures} pictures (seed {seed:#x})"
+            );
+            let desc: Vec<String> = mix
+                .iter()
+                .zip(&counts)
+                .map(|(c, n)| format!("{}fps x {n}", TICKS_PER_SEC_FPS / c.period_ticks))
+                .collect();
+            let _ = writeln!(out, "classes: {}", desc.join(", "));
+        }
+    }
 
     let t0 = std::time::Instant::now();
     engine.run(&fleet, pictures, true, threads);
@@ -580,25 +699,167 @@ fn cmd_sessions(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
 
     let _ = writeln!(
         out,
-        "sessions: {sessions} concurrent x {pictures} pictures (seed {seed:#x})"
-    );
-    let _ = writeln!(
-        out,
-        "class: D={:.4}s K={} H={} pattern {pattern}, ring slot {cap} sizes/session",
-        params.delay_bound, params.k, params.h
-    );
-    let _ = writeln!(
-        out,
         "decisions: {decisions} (digest {:016x}, max retained {})",
         engine.digest(),
         engine.max_retained()
     );
+    let _ = writeln!(out, "fleet_digest={:016x}", engine.digest());
     // Only this line may vary between runs; the determinism tests strip
     // lines containing "thread(s)".
     let _ = writeln!(
         out,
         "throughput: {rate:.0} decisions/s on {threads} thread(s) ({wall:.3}s)"
     );
+    Ok(0)
+}
+
+/// [`smooth_engine::TICKS_PER_SEC`], locally named so the fps-back
+/// calculation (`600 / period_ticks`) reads as what it is.
+const TICKS_PER_SEC_FPS: u64 = smooth_engine::TICKS_PER_SEC;
+
+/// `churn`: replay a seeded arrival/departure process through the
+/// event-driven [`smooth_engine::DynamicEngine`] — heterogeneous
+/// picture clocks on the timing wheel, live slot recycling — and report
+/// fleet stats plus the decision digest (`fleet_digest=`, identical for
+/// every thread count, shard size, and `--batch` arrival-batch quantum).
+/// With `--out`, the measurement is
+/// upserted into the `churn_throughput[]` array of an existing
+/// `BENCH_sweep.json` (dedup key: name + commit + threads), like
+/// `scale` does for `scaling[]`.
+fn cmd_churn(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
+    use smooth_engine::{churn_trace, ChurnSpec, DynamicEngine, SyntheticFleet, TICKS_PER_SEC};
+    use smooth_sweep::bench::{ChurnThroughputRecord, SweepBenchReport};
+    use smooth_sweep::ThreadSource;
+
+    let mut opts = Options::parse(args)?;
+    let sessions = opts.take_parsed::<usize>("sessions")?.unwrap_or(10_000);
+    let seconds = opts.take_parsed::<u64>("seconds")?.unwrap_or(2);
+    let churn_ppm = opts.take_parsed::<u64>("churn-ppm")?.unwrap_or(10_000);
+    let threads = smooth_sweep::resolve_threads(opts.take_parsed::<usize>("threads")?);
+    let seed = opts.take_parsed::<u64>("seed")?.unwrap_or(0xC_0041_7E57);
+    let shard_size = opts.take_parsed::<usize>("shard-size")?.unwrap_or(4096);
+    let repeats = opts.take_parsed::<usize>("repeats")?.unwrap_or(1);
+    let batch = opts
+        .take_parsed::<u64>("batch")?
+        .unwrap_or(smooth_engine::ARRIVAL_BATCH);
+    let out_path = opts.take("out");
+    let classes_raw = opts
+        .take("classes")
+        .unwrap_or_else(|| "24:1,25:1,30:1,60:1".to_string());
+    opts.finish()?;
+    if sessions == 0 {
+        return Err(err("--sessions: must be at least 1"));
+    }
+    if seconds == 0 {
+        return Err(err("--seconds: must be at least 1"));
+    }
+    if shard_size == 0 {
+        return Err(err("--shard-size: must be at least 1"));
+    }
+    if repeats == 0 {
+        return Err(err("--repeats: must be at least 1"));
+    }
+    if batch == 0 || batch > 1 << 20 {
+        return Err(err("--batch: must be in 1..=1048576"));
+    }
+
+    let (classes, weights) = parse_classes(&classes_raw)?;
+    let trace = churn_trace(&ChurnSpec {
+        seed,
+        initial: sessions,
+        weights: weights.clone(),
+        periods: classes.iter().map(|c| c.period_ticks).collect(),
+        ticks_per_sec: TICKS_PER_SEC,
+        horizon: TICKS_PER_SEC * seconds,
+        churn_ppm_per_sec: churn_ppm,
+    });
+    let src = SyntheticFleet {
+        seed,
+        pattern: classes[0].class.pattern,
+    };
+    let desc: Vec<String> = classes
+        .iter()
+        .zip(&weights)
+        .map(|(c, w)| format!("{}fps:{w}", TICKS_PER_SEC / c.period_ticks))
+        .collect();
+    let _ = writeln!(
+        out,
+        "churn: {sessions} initial x {seconds}s at {churn_ppm} ppm/s (seed {seed:#x})"
+    );
+    let _ = writeln!(
+        out,
+        "classes: {} | {} events, peak {} live",
+        desc.join(","),
+        trace.events.len(),
+        trace.peak_live
+    );
+
+    // Fresh engine per repeat, same trace; only the event-driven replay
+    // is timed. The last engine reports the (repeat-invariant) stats.
+    let mut walls = Vec::with_capacity(repeats);
+    let mut engine = None;
+    for _ in 0..repeats {
+        let mut e = DynamicEngine::new(classes.clone(), trace.peak_live, shard_size)
+            .map_err(|e| err(e.to_string()))?;
+        e.set_arrival_batch(batch);
+        let t0 = std::time::Instant::now();
+        e.run_trace(&src, &trace, threads)
+            .map_err(|e| err(e.to_string()))?;
+        walls.push(t0.elapsed().as_secs_f64());
+        engine = Some(e);
+    }
+    let engine = engine.expect("repeats >= 1");
+    let wall = walls.iter().cloned().fold(f64::INFINITY, f64::min);
+    let decisions = engine.decisions();
+    let rate = if wall > 0.0 {
+        decisions as f64 / wall
+    } else {
+        0.0
+    };
+
+    let _ = writeln!(
+        out,
+        "fleet: {} joined, {} live at horizon, {} slots resident ({} B/slot)",
+        engine.joined(),
+        engine.live_sessions(),
+        engine.allocated_slots(),
+        engine.state_bytes_per_slot()
+    );
+    let _ = writeln!(
+        out,
+        "decisions: {decisions} (digest {:016x})",
+        engine.digest()
+    );
+    let _ = writeln!(out, "fleet_digest={:016x}", engine.digest());
+    // Only this line may vary between runs; the determinism tests strip
+    // lines containing "thread(s)".
+    let _ = writeln!(
+        out,
+        "throughput: {rate:.0} decisions/s on {threads} thread(s) ({wall:.3}s min of {repeats})"
+    );
+
+    if let Some(path) = out_path {
+        let p = std::path::Path::new(&path);
+        let mut report = if p.exists() {
+            SweepBenchReport::load(p).map_err(|e| err(format!("loading {path}: {e}")))?
+        } else {
+            SweepBenchReport::with_thread_source(threads, ThreadSource::Flag)
+        };
+        report.record_churn_throughput(ChurnThroughputRecord::with_walls(
+            &format!("churn_synthetic_S{sessions}"),
+            sessions,
+            churn_ppm,
+            engine.joined(),
+            trace.horizon,
+            decisions,
+            &walls,
+            threads,
+        ));
+        report
+            .save(p)
+            .map_err(|e| err(format!("writing {path}: {e}")))?;
+        let _ = writeln!(out, "churn_throughput[] -> {path}");
+    }
     Ok(0)
 }
 
@@ -1189,6 +1450,186 @@ mod tests {
         };
         assert_ne!(digest_line("1"), digest_line("2"));
         assert_eq!(digest_line("7"), digest_line("7"));
+    }
+
+    #[test]
+    fn sessions_classes_mix_reports_split_and_fleet_digest() {
+        let (code, text) = run_cli(&[
+            "sessions",
+            "--sessions",
+            "100",
+            "--pictures",
+            "12",
+            "--threads",
+            "1",
+            "--classes",
+            "24:1,30:3",
+        ]);
+        assert_eq!(code, 0, "{text}");
+        // Largest-remainder split of 100 over weights 1:3.
+        assert!(text.contains("classes: 24fps x 25, 30fps x 75"), "{text}");
+        let digest_line = text
+            .lines()
+            .find(|l| l.starts_with("fleet_digest="))
+            .expect("fleet_digest line");
+        let hex = digest_line.strip_prefix("fleet_digest=").unwrap();
+        assert_eq!(hex.len(), 16, "{digest_line}");
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()), "{digest_line}");
+    }
+
+    #[test]
+    fn churn_reports_fleet_and_digest() {
+        let (code, text) = run_cli(&[
+            "churn",
+            "--sessions",
+            "300",
+            "--seconds",
+            "1",
+            "--churn-ppm",
+            "100000",
+            "--threads",
+            "1",
+        ]);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("300 initial x 1s"), "{text}");
+        assert!(
+            text.contains("classes: 24fps:1,25fps:1,30fps:1,60fps:1"),
+            "{text}"
+        );
+        assert!(text.contains("joined"), "{text}");
+        let digest_line = text
+            .lines()
+            .find(|l| l.starts_with("fleet_digest="))
+            .expect("fleet_digest line");
+        let hex = digest_line.strip_prefix("fleet_digest=").unwrap();
+        assert_eq!(hex.len(), 16, "{digest_line}");
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()), "{digest_line}");
+    }
+
+    #[test]
+    fn churn_output_is_thread_count_invariant() {
+        let base = [
+            "churn",
+            "--sessions",
+            "200",
+            "--seconds",
+            "2",
+            "--churn-ppm",
+            "200000",
+            "--shard-size",
+            "32",
+        ];
+        let run_with = |threads: &str| {
+            let mut args: Vec<&str> = base.to_vec();
+            args.extend(["--threads", threads]);
+            run_cli(&args)
+        };
+        let (code, serial) = run_with("1");
+        assert_eq!(code, 0);
+        for threads in ["2", "8"] {
+            let (code, parallel) = run_with(threads);
+            assert_eq!(code, 0);
+            let strip = |s: &str| {
+                s.lines()
+                    .filter(|l| !l.contains("thread(s)"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            assert_eq!(strip(&serial), strip(&parallel), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn churn_output_is_batch_invariant() {
+        let base = [
+            "churn",
+            "--sessions",
+            "200",
+            "--seconds",
+            "2",
+            "--churn-ppm",
+            "200000",
+            "--shard-size",
+            "32",
+        ];
+        let run_with = |batch: &str| {
+            let mut args: Vec<&str> = base.to_vec();
+            args.extend(["--batch", batch]);
+            run_cli(&args)
+        };
+        let (code, reference) = run_with("1");
+        assert_eq!(code, 0);
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.contains("thread(s)"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        for batch in ["2", "7", "16", "64"] {
+            let (code, batched) = run_with(batch);
+            assert_eq!(code, 0);
+            assert_eq!(strip(&reference), strip(&batched), "batch={batch}");
+        }
+    }
+
+    #[test]
+    fn churn_out_writes_and_upserts_churn_throughput_records() {
+        let json_path = tmp("churn_report.json");
+        let _ = std::fs::remove_file(&json_path);
+        let args = [
+            "churn",
+            "--sessions",
+            "150",
+            "--seconds",
+            "1",
+            "--repeats",
+            "2",
+            "--threads",
+            "1",
+            "--out",
+            &json_path,
+        ];
+        let (code, text) = run_cli(&args);
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("churn_throughput[] ->"), "{text}");
+        let report = smooth_sweep::bench::SweepBenchReport::load(std::path::Path::new(&json_path))
+            .expect("churn report");
+        assert_eq!(report.churn_throughput.len(), 1);
+        let rec = &report.churn_throughput[0];
+        assert_eq!(rec.name, "churn_synthetic_S150");
+        assert_eq!(rec.sessions, 150);
+        assert_eq!(rec.churn_ppm_per_sec, 10_000);
+        assert!(rec.joined >= 150);
+        assert!(rec.wall_seconds_median.is_some());
+        assert!(rec.wall_seconds_spread.is_some());
+
+        // A second run upserts instead of appending a duplicate.
+        let (code, _) = run_cli(&args);
+        assert_eq!(code, 0);
+        let report = smooth_sweep::bench::SweepBenchReport::load(std::path::Path::new(&json_path))
+            .expect("churn report");
+        assert_eq!(report.churn_throughput.len(), 1);
+    }
+
+    #[test]
+    fn churn_rejects_degenerate_options() {
+        for args in [
+            vec!["churn", "--sessions", "0"],
+            vec!["churn", "--seconds", "0"],
+            vec!["churn", "--shard-size", "0"],
+            vec!["churn", "--repeats", "0"],
+            vec!["churn", "--batch", "0"],
+            vec!["churn", "--batch", "1048577"],
+            vec!["churn", "--classes", "17:1"],
+            vec!["churn", "--classes", "30:0"],
+            vec!["churn", "--classes", ""],
+            vec!["churn", "--classes", "abc"],
+            vec!["churn", "--wat", "1"],
+        ] {
+            let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            let mut out = Vec::new();
+            assert!(run(&args, &mut out).is_err(), "{args:?}");
+        }
     }
 
     #[test]

@@ -287,6 +287,84 @@ impl SessionThroughputRecord {
     }
 }
 
+/// One event-driven churn-throughput measurement: the [`DynamicEngine`]
+/// replaying a seeded arrival/departure trace over a heterogeneous
+/// fps mix, timed end to end (ramp + churn + decisions). Lives in the
+/// `churn_throughput[]` array of `BENCH_sweep.json` and shares the
+/// report-level provenance fields (`git_commit`, `thread_source`,
+/// `available_cores`, `physical_cores`).
+///
+/// [`DynamicEngine`]: https://docs.rs/smooth-engine
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnThroughputRecord {
+    /// Configuration label, e.g. `churn_synthetic_S1000000`.
+    pub name: String,
+    /// Initial fleet size (sessions live after the ramp second).
+    pub sessions: usize,
+    /// Churn intensity in parts-per-million of the initial fleet per
+    /// simulated second (10_000 = 1 %/s).
+    pub churn_ppm_per_sec: u64,
+    /// Sessions that ever joined (initial fleet + churn arrivals).
+    pub joined: u64,
+    /// Simulated scheduler ticks replayed (horizon of the trace).
+    pub ticks: u64,
+    /// Total picture decisions made across the fleet.
+    pub decisions: u64,
+    /// Wall-clock seconds (min over repeats).
+    pub wall_seconds: f64,
+    /// Median wall seconds over the repeats.
+    #[serde(default)]
+    pub wall_seconds_median: Option<f64>,
+    /// Max − min wall seconds over the repeats.
+    #[serde(default)]
+    pub wall_seconds_spread: Option<f64>,
+    /// `decisions / wall_seconds`.
+    pub decisions_per_second: f64,
+    /// Worker threads the measurement used (1 = serial).
+    pub threads: usize,
+    /// Commit the record was measured at — stamped by
+    /// [`SweepBenchReport::record_churn_throughput`], part of the
+    /// dedup key.
+    #[serde(default)]
+    pub git_commit: Option<String>,
+}
+
+impl ChurnThroughputRecord {
+    /// Builds a record from the full repeat sample, headlining the min
+    /// and carrying median/spread.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_walls(
+        name: &str,
+        sessions: usize,
+        churn_ppm_per_sec: u64,
+        joined: u64,
+        ticks: u64,
+        decisions: u64,
+        walls: &[f64],
+        threads: usize,
+    ) -> Self {
+        let (min, median, spread) = wall_stats(walls);
+        ChurnThroughputRecord {
+            name: name.to_string(),
+            sessions,
+            churn_ppm_per_sec,
+            joined,
+            ticks,
+            decisions,
+            wall_seconds: min,
+            wall_seconds_median: Some(median),
+            wall_seconds_spread: Some(spread),
+            decisions_per_second: if min > 0.0 {
+                decisions as f64 / min
+            } else {
+                0.0
+            },
+            threads,
+            git_commit: None,
+        }
+    }
+}
+
 /// One point of the cores-vs-throughput scaling curve: the 1M-session
 /// engine run at a fixed worker count with cache-aware placement
 /// (static shard→thread striping, per-worker first-touch construction,
@@ -406,6 +484,11 @@ pub struct SweepBenchReport {
     /// fields.
     #[serde(default)]
     pub session_throughput: Vec<SessionThroughputRecord>,
+    /// Event-driven churn throughput measurements (see
+    /// [`ChurnThroughputRecord`]); shares the report-level provenance
+    /// fields.
+    #[serde(default)]
+    pub churn_throughput: Vec<ChurnThroughputRecord>,
     /// Cores-vs-throughput scaling curve (see [`ScalingRecord`]); one
     /// point per measured worker count.
     #[serde(default)]
@@ -433,6 +516,7 @@ impl SweepBenchReport {
             throughput: Vec::new(),
             mux_throughput: Vec::new(),
             session_throughput: Vec::new(),
+            churn_throughput: Vec::new(),
             scaling: Vec::new(),
             total_seconds: 0.0,
         }
@@ -480,6 +564,17 @@ impl SweepBenchReport {
                 != (&record.name, &record.git_commit, record.threads)
         });
         self.session_throughput.push(record);
+    }
+
+    /// Appends a churn-throughput measurement, deduplicating by
+    /// `(name, git_commit, threads)`.
+    pub fn record_churn_throughput(&mut self, mut record: ChurnThroughputRecord) {
+        record.git_commit = self.record_commit();
+        self.churn_throughput.retain(|r| {
+            (&r.name, &r.git_commit, r.threads)
+                != (&record.name, &record.git_commit, record.threads)
+        });
+        self.churn_throughput.push(record);
     }
 
     /// Appends a scaling-curve point, deduplicating by
