@@ -33,6 +33,7 @@ use std::time::Instant;
 
 use smooth_bench::churnbench;
 use smooth_bench::experiments;
+use smooth_bench::fleetmuxbench;
 use smooth_bench::muxbench;
 use smooth_bench::scalebench;
 use smooth_bench::sessionbench;
@@ -271,6 +272,36 @@ fn main() {
             record.threads
         );
         report.record_churn_throughput(record);
+    }
+    println!();
+
+    // Fused fleet-to-link throughput: the session engine streaming its
+    // decisions into the online link aggregator, vs the offline
+    // run-engine-then-sweep baseline (see
+    // crates/bench/src/fleetmuxbench.rs).
+    println!("==================== fleet mux throughput ====================");
+    let fleet_mux_records = match sessions_opt {
+        Some(sessions) => fleetmuxbench::scaled_fleet_mux_suite(threads, sessions),
+        None => fleetmuxbench::standard_fleet_mux_suite(threads),
+    };
+    for record in fleet_mux_records {
+        let mut speedup = record
+            .speedup
+            .map(|s| format!(", {s:.1}x vs offline"))
+            .unwrap_or_default();
+        if let Some(m) = record.mux_pass_speedup {
+            speedup.push_str(&format!(", {m:.1}x mux pass"));
+        }
+        println!(
+            "{}: {:.0} decisions/s ({} sessions, {} ticks, {:.3}s fused{speedup}, {} thread(s))",
+            record.name,
+            record.decisions_per_second,
+            record.sessions,
+            record.ticks,
+            record.wall_seconds,
+            record.threads
+        );
+        report.record_fleet_mux_throughput(record);
     }
     println!();
 

@@ -1,0 +1,98 @@
+//! Regenerates the fused fleet-to-link throughput records standalone —
+//! the [`smooth_bench::fleetmuxbench`] suite without the rest of the
+//! evaluation. Records are upserted into the `fleet_mux_throughput[]`
+//! array of an existing `BENCH_sweep.json` when present (dedup key:
+//! name + commit + threads), or into a fresh report otherwise.
+//!
+//! ```sh
+//! fleetmux [--sessions N] [--threads N] [--bench-json PATH]
+//! ```
+
+use smooth_bench::fleetmuxbench;
+use smooth_sweep::bench::SweepBenchReport;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut bench_json = String::from("BENCH_sweep.json");
+    let mut threads_opt: Option<usize> = None;
+    let mut sessions_opt: Option<usize> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--bench-json" => bench_json = value("--bench-json"),
+            "--threads" => {
+                let v = value("--threads");
+                threads_opt = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--threads: cannot parse {v:?}");
+                    std::process::exit(2);
+                }));
+            }
+            "--sessions" => {
+                let v = value("--sessions");
+                sessions_opt = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--sessions: cannot parse {v:?}");
+                    std::process::exit(2);
+                }));
+            }
+            "--help" | "-h" => {
+                println!("usage: fleetmux [--sessions N] [--threads N] [--bench-json PATH]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (threads, thread_source) = smooth_sweep::resolve_threads_with_source(threads_opt);
+    smooth_sweep::set_default_threads(threads);
+
+    let path = std::path::Path::new(&bench_json);
+    let mut report = if path.exists() {
+        SweepBenchReport::load(path).unwrap_or_else(|e| {
+            eprintln!("failed to load {bench_json}: {e}");
+            std::process::exit(1);
+        })
+    } else {
+        SweepBenchReport::with_thread_source(threads, thread_source)
+    };
+
+    let records = match sessions_opt {
+        Some(sessions) => fleetmuxbench::scaled_fleet_mux_suite(threads, sessions),
+        None => fleetmuxbench::standard_fleet_mux_suite(threads),
+    };
+    for record in records {
+        let mut speedup = record
+            .speedup
+            .map(|s| format!(", {s:.1}x vs offline"))
+            .unwrap_or_default();
+        if let Some(m) = record.mux_pass_speedup {
+            speedup.push_str(&format!(", {m:.1}x mux pass"));
+        }
+        println!(
+            "{}: {:.0} decisions/s ({} sessions, {} ticks, {:.3}s fused{speedup}, {} thread(s))",
+            record.name,
+            record.decisions_per_second,
+            record.sessions,
+            record.ticks,
+            record.wall_seconds,
+            record.threads
+        );
+        report.record_fleet_mux_throughput(record);
+    }
+
+    match report.save(path) {
+        Ok(()) => println!("fleet_mux_throughput[] -> {bench_json}"),
+        Err(e) => {
+            eprintln!("failed to write {bench_json}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

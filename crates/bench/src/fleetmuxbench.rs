@@ -1,0 +1,210 @@
+//! Fused fleet-to-link throughput: the session engine streaming its
+//! decisions straight into the online link aggregator
+//! ([`smooth_engine::LiveMux`]) versus the offline baseline that runs
+//! the engine and sweeps the schedules through the multiplexer
+//! afterwards ([`smooth_engine::mux::mux_sessions`]).
+//!
+//! Both paths compute the identical aggregate — same link stats, same
+//! per-session (σ, ρ) window — so the measurement is a pure pipeline
+//! comparison: the fused path posts each decision as an O(log S) delta
+//! into the aggregation tree while the fleet advances, while the
+//! baseline replays every session through lazy rate cursors into the
+//! k-way-merge sweep after the fact. Each point re-asserts the bitwise
+//! oracle equality before it reports, so a speedup can never be quoted
+//! for a run that diverged.
+//!
+//! Three wall times are taken, each a
+//! min-of-[`crate::throughput::MEASURE_REPEATS`]:
+//!
+//! - **fused** — `run_fused`, the engine streaming into [`LiveMux`];
+//! - **engine** — a bare `SessionEngine::run` with no aggregation, the
+//!   decision work both pipelines share (`engine_seconds`);
+//! - **sweep** — `mux_sessions` on a fresh engine, the offline
+//!   aggregation pass this module replaces.
+//!
+//! The literal run-engine-then-`mux_sessions` baseline is
+//! `offline_seconds = engine + sweep` (the consumer needs the fleet
+//! product *and* the link aggregate, and `mux_sessions` refuses a
+//! spent engine, so the offline path pays both). Alongside the
+//! end-to-end `speedup`, the record derives `mux_pass_speedup` =
+//! (offline − engine) / (fused − engine): the speedup of the
+//! aggregation pass itself once the shared decision floor — identical
+//! work on both sides — is subtracted. Records land in
+//! `BENCH_sweep.json` as `fleet_mux_throughput[]`.
+
+use std::time::Instant;
+
+use smooth_engine::mux::mux_sessions;
+use smooth_engine::{LiveMux, MuxConfig, SessionEngine, SyntheticFleet};
+use smooth_netsim::RateSweep;
+use smooth_sweep::bench::FleetMuxThroughputRecord;
+
+use crate::sessionbench::{session_class, SESSION_TICKS};
+use crate::throughput::MEASURE_REPEATS;
+
+/// The standard session ladder for `fleet_mux_throughput[]`: a cheap
+/// sanity point plus the headline megasession measurement.
+pub const STANDARD_FLEET_MUX_SESSIONS: [usize; 2] = [10_000, 1_000_000];
+
+/// Link parameters per session: ~0.9 nominal load against the synthetic
+/// fleet's ~1.45 Mbps mean, ~2 kbit of buffer each, and ρ at the
+/// per-session capacity share.
+const CAPACITY_PER_SESSION: f64 = 1.6e6;
+const BUFFER_PER_SESSION: f64 = 2.0e3;
+
+/// The measurement window for a `ticks`-tick fleet: from zero to past
+/// every possible departure (last arrival at `ticks`·τ plus the delay
+/// bound, with slack), so both paths aggregate the full schedules.
+fn window_end(ticks: u64) -> f64 {
+    (ticks as f64 + 60.0) / 30.0
+}
+
+/// Times `sessions` concurrent sessions through `ticks` lockstep ticks
+/// plus the finishing drain, fused with the online aggregator — then
+/// times the bare engine (the shared decision floor) and the offline
+/// `mux_sessions` sweep over the identical window, and asserts fused
+/// and offline landed on the same bits before deriving the speedups.
+/// Fleet construction is excluded from every timed region.
+pub fn measure_fleet_mux(sessions: usize, ticks: u64, threads: usize) -> FleetMuxThroughputRecord {
+    let class = session_class();
+    let fleet = SyntheticFleet {
+        seed: 0x5e55be7c,
+        pattern: class.pattern,
+    };
+    let cfg = MuxConfig {
+        capacity_bps: CAPACITY_PER_SESSION * sessions as f64,
+        buffer_bits: BUFFER_PER_SESSION * sessions as f64,
+        t_start: 0.0,
+        t_end: window_end(ticks),
+        descriptor_rho_bps: CAPACITY_PER_SESSION,
+    };
+
+    let mut walls = Vec::with_capacity(MEASURE_REPEATS);
+    let mut decisions = 0u64;
+    let mut fused = None;
+    for _ in 0..MEASURE_REPEATS {
+        let mut engine = SessionEngine::new(vec![class.clone()]);
+        engine.add_sessions_placed(0, sessions, threads);
+        let mut mux = LiveMux::new(sessions, engine.shard_size(), cfg);
+        let t0 = Instant::now();
+        let stats = engine
+            .run_fused(&fleet, ticks, threads, &mut mux)
+            .expect("fresh engine");
+        walls.push(t0.elapsed().as_secs_f64());
+        decisions = engine.decisions();
+        fused = Some(stats);
+    }
+    let fused = fused.expect("at least one repeat");
+
+    // The shared decision floor: the bare engine with no aggregation at
+    // all. Both pipelines pay this work; the offline baseline pays it
+    // as its first stage.
+    let mut engine_floor = f64::INFINITY;
+    for _ in 0..MEASURE_REPEATS {
+        let mut engine = SessionEngine::new(vec![class.clone()]);
+        engine.add_sessions_placed(0, sessions, threads);
+        let t0 = Instant::now();
+        engine.run(&fleet, ticks, true, threads);
+        engine_floor = engine_floor.min(t0.elapsed().as_secs_f64());
+    }
+
+    // The offline aggregation pass: `mux_sessions` replays the fleet
+    // through lazy rate cursors into the k-way-merge sweep. It needs a
+    // fresh engine (a spent one is a `StaleEngine` error), so the
+    // literal run-engine-then-sweep baseline is floor + sweep.
+    let sweep = RateSweep {
+        capacity_bps: cfg.capacity_bps,
+        buffer_bits: cfg.buffer_bits,
+    };
+    let mut sweep_wall = f64::INFINITY;
+    let mut baseline = None;
+    for _ in 0..MEASURE_REPEATS {
+        let mut engine = SessionEngine::new(vec![class.clone()]);
+        engine.add_sessions_placed(0, sessions, threads);
+        let t0 = Instant::now();
+        let stats =
+            mux_sessions(engine, fleet, ticks, &sweep, cfg.t_start, cfg.t_end).expect("fresh");
+        sweep_wall = sweep_wall.min(t0.elapsed().as_secs_f64());
+        baseline = Some(stats);
+    }
+    let baseline = baseline.expect("at least one repeat");
+    let offline = engine_floor + sweep_wall;
+
+    // The frozen-oracle pin, re-run at measurement scale: a speedup is
+    // only reportable for a bit-identical aggregate.
+    assert_eq!(
+        fused.mux.arrived_bits.to_bits(),
+        baseline.arrived_bits.to_bits()
+    );
+    assert_eq!(fused.mux.lost_bits.to_bits(), baseline.lost_bits.to_bits());
+    assert_eq!(
+        fused.mux.served_bits.to_bits(),
+        baseline.served_bits.to_bits()
+    );
+    assert_eq!(
+        fused.mux.max_queue_bits.to_bits(),
+        baseline.max_queue_bits.to_bits()
+    );
+    assert_eq!(
+        fused.mux.utilization.to_bits(),
+        baseline.utilization.to_bits()
+    );
+
+    FleetMuxThroughputRecord::with_walls(
+        &format!("fleet_mux_synthetic_S{sessions}"),
+        sessions,
+        ticks,
+        decisions,
+        &walls,
+        Some(offline),
+        Some(engine_floor),
+        threads,
+    )
+}
+
+/// The records `BENCH_sweep.json` carries by default: the
+/// [`STANDARD_FLEET_MUX_SESSIONS`] ladder at [`SESSION_TICKS`] ticks.
+pub fn standard_fleet_mux_suite(threads: usize) -> Vec<FleetMuxThroughputRecord> {
+    STANDARD_FLEET_MUX_SESSIONS
+        .iter()
+        .map(|&s| measure_fleet_mux(s, SESSION_TICKS, threads))
+        .collect()
+}
+
+/// A single-point suite at an explicit session count (the `--sessions N`
+/// scale knob).
+pub fn scaled_fleet_mux_suite(threads: usize, sessions: usize) -> Vec<FleetMuxThroughputRecord> {
+    vec![measure_fleet_mux(sessions, SESSION_TICKS, threads)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_fleet_point_pins_the_oracle_and_reports_speedup() {
+        // `measure_fleet_mux` asserts the fused/baseline bit equality
+        // internally; reaching the record at all is the oracle pin.
+        let rec = measure_fleet_mux(300, 8, 1);
+        assert_eq!(rec.name, "fleet_mux_synthetic_S300");
+        assert_eq!(rec.sessions, 300);
+        assert_eq!(rec.ticks, 8);
+        assert_eq!(rec.decisions, 300 * 8);
+        assert!(rec.decisions_per_second > 0.0);
+        assert!(rec.offline_seconds.is_some());
+        assert!(rec.engine_seconds.is_some());
+        assert!(rec.speedup.is_some());
+        assert!(rec.wall_seconds_median.is_some());
+        // offline = engine floor + sweep pass, so it strictly exceeds
+        // the floor by construction.
+        assert!(rec.offline_seconds.unwrap() > rec.engine_seconds.unwrap());
+    }
+
+    #[test]
+    fn scaled_suite_is_one_point_at_the_requested_count() {
+        let recs = scaled_fleet_mux_suite(1, 150);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].sessions, 150);
+        assert_eq!(recs[0].decisions, 150 * SESSION_TICKS);
+    }
+}

@@ -18,6 +18,7 @@
 
 pub mod churnbench;
 pub mod experiments;
+pub mod fleetmuxbench;
 pub mod muxbench;
 pub mod scalebench;
 pub mod sessionbench;

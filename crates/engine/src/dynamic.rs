@@ -61,11 +61,12 @@ use std::collections::VecDeque;
 use std::sync::Mutex;
 
 use smooth_core::{
-    decide_live, prunable_prefix, BlockLanes, LiveCursor, LiveParams, LookaheadWindow, SizeHistory,
-    TimingWheel,
+    decide_live, prunable_prefix, BlockLanes, LiveCursor, LiveParams, LookaheadWindow,
+    PictureSchedule, SizeHistory, TimingWheel,
 };
 use smooth_sweep::par_map;
 
+use crate::livemux::{LiveMux, LiveMuxStats};
 use crate::synthetic::{ChurnEvent, ChurnTrace};
 use crate::{fnv, ClassInfo, EngineError, SessionClass, SizeSource, FNV_OFFSET};
 
@@ -140,6 +141,16 @@ const PREFETCH_DUE: usize = 4;
 /// the churn proptests), so it trades only *when* within a span a
 /// decision is computed, never what is decided.
 pub const ARRIVAL_BATCH: u64 = 16;
+
+/// How much trace time [`DynamicEngine::run_trace_fused`] lets rate
+/// events buffer in the mux lanes between [`LiveMux::ingest`] passes:
+/// half a simulated second. Each ingest pays an O(live sessions) fence
+/// scan, so ingesting at every event tick would swamp a churny trace;
+/// half a second keeps the buffered-event footprint modest while
+/// holding the scan cost to a few passes per simulated second. The
+/// cadence is driven by trace time, never by wall time or thread
+/// count, so fused digests stay deterministic.
+pub const MUX_INGEST_SPAN_TICKS: u64 = TICKS_PER_SEC / 2;
 
 /// One session's complete smoother state, self-contained: everything
 /// needed to continue its schedule bit-identically in another slot,
@@ -420,6 +431,8 @@ impl DynShard {
     /// own `need`, never at everything pushed, so feeding a batch of
     /// arrivals decides exactly what feeding them one visit apiece would
     /// (the property the lockstep engine's batch path already pins).
+    /// Every decision is also offered to `sink` (the lockstep shard's
+    /// fused-mux hook; pass a no-op closure when nothing listens).
     /// Returns the decisions made.
     fn step_slot<S: SizeSource>(
         &mut self,
@@ -428,6 +441,7 @@ impl DynShard {
         source: &S,
         pushes: u64,
         ended: bool,
+        sink: &mut impl FnMut(u64, &PictureSchedule),
     ) -> u64 {
         let h = &self.hot[j];
         let info = &classes[h.class_of as usize];
@@ -435,6 +449,7 @@ impl DynShard {
         let cap = info.ring_cap;
         let n = info.class.pattern.n();
         let stream = h.stream;
+        let sid = self.sid[j];
 
         let mut cursor = LiveCursor {
             decided: h.decided as usize,
@@ -509,6 +524,7 @@ impl DynShard {
                 digest = fnv(digest, decision.start.to_bits());
                 digest = fnv(digest, decision.rate.to_bits());
                 digest = fnv(digest, decision.depart.to_bits());
+                sink(sid, &decision);
                 made += 1;
             }
 
@@ -549,6 +565,7 @@ impl DynShard {
         periods: &[u64],
         source: &S,
         until: u64,
+        sink: &mut impl FnMut(u64, &PictureSchedule),
     ) -> u64 {
         let h = &self.hot[j];
         let na = h.next_arrival;
@@ -558,7 +575,7 @@ impl DynShard {
         } else {
             0
         };
-        let made = self.step_slot(j, classes, source, pushes, true);
+        let made = self.step_slot(j, classes, source, pushes, true, sink);
         self.decisions += made;
         let digest = self.hot[j].digest;
         self.free_slot(j);
@@ -596,6 +613,7 @@ impl DynShard {
         source: &S,
         until: u64,
         batch: u64,
+        sink: &mut impl FnMut(u64, &PictureSchedule),
     ) {
         let mut due = std::mem::take(&mut self.due);
         loop {
@@ -627,7 +645,7 @@ impl DynShard {
                     "wheel deadline off the session's arrival grid"
                 );
                 let pushes = (deadline - na) / period + 1;
-                let made = self.step_slot(j, classes, source, pushes, false);
+                let made = self.step_slot(j, classes, source, pushes, false, sink);
                 self.decisions += made;
                 self.hot[j].next_arrival = deadline + period;
                 self.wheel.schedule(deadline + batch * period, item);
@@ -649,6 +667,7 @@ impl DynShard {
         periods: &[u64],
         source: &S,
         until: u64,
+        sink: &mut impl FnMut(u64, &PictureSchedule),
     ) {
         for j in 0..self.allocated() {
             self.prefetch_slot(j + 1);
@@ -662,7 +681,7 @@ impl DynShard {
             }
             let period = periods[h.class_of as usize];
             let pushes = (until - na) / period + 1;
-            let made = self.step_slot(j, classes, source, pushes, false);
+            let made = self.step_slot(j, classes, source, pushes, false, sink);
             self.decisions += made;
             self.hot[j].next_arrival = na + pushes * period;
         }
@@ -670,11 +689,16 @@ impl DynShard {
 
     /// End-of-run drain of every live slot, in slot order (sessions are
     /// independent; digests fold by session id at the engine).
-    fn finish_all<S: SizeSource>(&mut self, classes: &[ClassInfo], source: &S) {
+    fn finish_all<S: SizeSource>(
+        &mut self,
+        classes: &[ClassInfo],
+        source: &S,
+        sink: &mut impl FnMut(u64, &PictureSchedule),
+    ) {
         for j in 0..self.allocated() {
             if self.hot[j].class_of != FREE {
                 self.prefetch_slot(j + 1);
-                let made = self.step_slot(j, classes, source, 0, true);
+                let made = self.step_slot(j, classes, source, 0, true, sink);
                 self.decisions += made;
             }
         }
@@ -953,6 +977,18 @@ impl DynamicEngine {
     /// sub-batch tail outstanding), drains its tail decisions
     /// (end-of-stream), records its final digest, and recycles its slot.
     pub fn leave<S: SizeSource>(&mut self, sid: u64, source: &S) -> Result<(), EngineError> {
+        self.leave_mux(sid, source, None)
+    }
+
+    /// [`leave`](Self::leave) with an optional fused aggregator: the
+    /// departing session's catch-up and tail decisions stream into the
+    /// mux lane before the caller closes it.
+    fn leave_mux<S: SizeSource>(
+        &mut self,
+        sid: u64,
+        source: &S,
+        mux: Option<&LiveMux>,
+    ) -> Result<(), EngineError> {
         assert!(!self.ended, "leave after finish");
         let loc = *self
             .locator
@@ -967,7 +1003,18 @@ impl DynamicEngine {
         let digest = self.shards[loc.shard as usize]
             .get_mut()
             .expect("shard poisoned")
-            .retire(loc.slot as usize, classes, periods, source, now);
+            .retire(
+                loc.slot as usize,
+                classes,
+                periods,
+                source,
+                now,
+                &mut |s, d| {
+                    if let Some(m) = mux {
+                        m.decision_shared(s, d);
+                    }
+                },
+            );
         self.digests[sid as usize] = digest;
         self.locator[sid as usize] = GONE;
         self.live -= 1;
@@ -981,14 +1028,30 @@ impl DynamicEngine {
     /// and collected in index order). On return every arrival ≤ `until`
     /// is decided, whatever the batch setting.
     pub fn advance_to<S: SizeSource>(&mut self, source: &S, until: u64, threads: usize) {
-        self.drain_to(source, until, threads);
+        self.advance_mux(source, until, threads, None);
+    }
+
+    /// [`advance_to`](Self::advance_to) with an optional fused
+    /// aggregator receiving every decision as it is made.
+    fn advance_mux<S: SizeSource>(
+        &mut self,
+        source: &S,
+        until: u64,
+        threads: usize,
+        mux: Option<&LiveMux>,
+    ) {
+        self.drain_mux(source, until, threads, mux);
         let classes = &self.classes;
         let periods = &self.periods;
         let shards = &self.shards;
         let idx: Vec<usize> = (0..shards.len()).collect();
         par_map(threads, &idx, |_, &s| {
             let mut shard = shards[s].lock().expect("shard poisoned");
-            shard.flush_until(classes, periods, source, until);
+            shard.flush_until(classes, periods, source, until, &mut |sid, d| {
+                if let Some(m) = mux {
+                    m.decision_shared(sid, d);
+                }
+            });
         });
     }
 
@@ -1000,7 +1063,13 @@ impl DynamicEngine {
     /// interact, so deferring other sessions' tails changes no digest
     /// bit — and settles everything with one streaming flush at the
     /// horizon.
-    fn drain_to<S: SizeSource>(&mut self, source: &S, until: u64, threads: usize) {
+    fn drain_mux<S: SizeSource>(
+        &mut self,
+        source: &S,
+        until: u64,
+        threads: usize,
+        mux: Option<&LiveMux>,
+    ) {
         assert!(!self.ended, "advance after finish");
         assert!(until >= self.now, "scheduler time runs forward");
         let classes = &self.classes;
@@ -1010,7 +1079,11 @@ impl DynamicEngine {
         let idx: Vec<usize> = (0..shards.len()).collect();
         par_map(threads, &idx, |_, &s| {
             let mut shard = shards[s].lock().expect("shard poisoned");
-            shard.drain_until(classes, periods, source, until, batch);
+            shard.drain_until(classes, periods, source, until, batch, &mut |sid, d| {
+                if let Some(m) = mux {
+                    m.decision_shared(sid, d);
+                }
+            });
         });
         self.now = until;
     }
@@ -1019,16 +1092,24 @@ impl DynamicEngine {
     /// Slots are kept (digests stay readable); the engine only reports
     /// afterwards.
     pub fn finish<S: SizeSource>(&mut self, source: &S, threads: usize) {
+        self.finish_mux(source, threads, None);
+    }
+
+    fn finish_mux<S: SizeSource>(&mut self, source: &S, threads: usize, mux: Option<&LiveMux>) {
         assert!(!self.ended, "finish twice");
         // Public boundaries leave nothing outstanding, but settle any
         // sub-batch tails before ending streams all the same.
-        self.advance_to(source, self.now, threads);
+        self.advance_mux(source, self.now, threads, mux);
         let classes = &self.classes;
         let shards = &self.shards;
         let idx: Vec<usize> = (0..shards.len()).collect();
         par_map(threads, &idx, |_, &s| {
             let mut shard = shards[s].lock().expect("shard poisoned");
-            shard.finish_all(classes, source);
+            shard.finish_all(classes, source, &mut |sid, d| {
+                if let Some(m) = mux {
+                    m.decision_shared(sid, d);
+                }
+            });
         });
         self.ended = true;
     }
@@ -1052,7 +1133,7 @@ impl DynamicEngine {
                 // Wheel-only: sub-batch tails stay outstanding across
                 // event ticks (leaves catch their own session up); the
                 // closing advance_to settles the fleet at the horizon.
-                self.drain_to(source, t - 1, threads);
+                self.drain_mux(source, t - 1, threads, None);
             }
             while i < trace.events.len() && trace.events[i].0 == t {
                 match trace.events[i].1 {
@@ -1073,6 +1154,101 @@ impl DynamicEngine {
         }
         self.advance_to(source, trace.horizon, threads);
         Ok(self.decisions() - before)
+    }
+
+    /// [`run_trace`](Self::run_trace) fused with a [`LiveMux`]: every
+    /// decision streams into its session's mux lane as it is made, a
+    /// join opens its lane at the session's first-arrival time on the
+    /// scheduler clock, a leave closes it, and buffered rate events are
+    /// ingested into the summation tree every
+    /// [`MUX_INGEST_SPAN_TICKS`] of trace time — the wheel drain and
+    /// the link aggregation advance together, with no materialized
+    /// schedules and no end-of-run mux pass over the fleet.
+    ///
+    /// The engine and `mux` must agree on the fleet: a fresh engine
+    /// with a [`LiveMux::with_joins`] aggregator sized to every session
+    /// id the trace will issue, or an engine/mux pair restored from
+    /// matching checkpoints ([`checkpoint`](Self::checkpoint) /
+    /// [`LiveMux::checkpoint`]) taken at the same trace position.
+    /// Call [`finish_fused`](Self::finish_fused) after the final trace
+    /// to end still-live sessions and read the stats. Digests and mux
+    /// bits are invariant in `threads`.
+    ///
+    /// Returns the decisions made, like [`run_trace`](Self::run_trace).
+    pub fn run_trace_fused<S: SizeSource>(
+        &mut self,
+        source: &S,
+        trace: &ChurnTrace,
+        threads: usize,
+        mux: &mut LiveMux,
+    ) -> Result<u64, EngineError> {
+        let before = self.decisions();
+        let mut last_ingest = self.now;
+        let mut i = 0;
+        while i < trace.events.len() {
+            let t = trace.events[i].0;
+            if t > self.now {
+                self.drain_mux(source, t - 1, threads, Some(mux));
+                if self.now - last_ingest >= MUX_INGEST_SPAN_TICKS {
+                    mux.ingest(threads, self.mux_clock_cap());
+                    last_ingest = self.now;
+                }
+            }
+            while i < trace.events.len() && trace.events[i].0 == t {
+                match trace.events[i].1 {
+                    ChurnEvent::Join {
+                        class,
+                        stream,
+                        phase,
+                    } => {
+                        let sid = self.join_at(t, class as usize, stream, phase)?;
+                        // The lane's local t = 0 is the session's first
+                        // picture arrival on the scheduler clock.
+                        let period = self.periods[class as usize];
+                        let first = t + 1 + (phase % period);
+                        mux.begin_session(sid, first as f64 / TICKS_PER_SEC as f64);
+                    }
+                    ChurnEvent::Leave { sid } => {
+                        self.leave_mux(sid, source, Some(mux))?;
+                        mux.finish_session(sid);
+                    }
+                }
+                i += 1;
+            }
+        }
+        self.advance_mux(source, trace.horizon, threads, Some(mux));
+        mux.ingest(threads, self.mux_clock_cap());
+        Ok(self.decisions() - before)
+    }
+
+    /// Ends the fused run: settles sub-batch tails, drains every live
+    /// session's end-of-stream decisions into the mux, closes their
+    /// lanes, ingests everything, and finalizes the aggregate — the
+    /// fused counterpart of [`finish`](Self::finish) +
+    /// [`LiveMux::finalize`].
+    pub fn finish_fused<S: SizeSource>(
+        &mut self,
+        source: &S,
+        threads: usize,
+        mux: &mut LiveMux,
+    ) -> LiveMuxStats {
+        self.finish_mux(source, threads, Some(mux));
+        for (sid, loc) in self.locator.iter().enumerate() {
+            if *loc != GONE {
+                mux.finish_session(sid as u64);
+            }
+        }
+        mux.ingest(threads, f64::INFINITY);
+        mux.finalize()
+    }
+
+    /// An upper bound on the event times any *future* join can emit: a
+    /// join at tick `t > now` has its first arrival at `t + 1 > now +
+    /// 1`, so its lane's events sit strictly past `(now + 1)` ticks —
+    /// safe as the [`LiveMux::ingest`] clock cap (events *at* the cap
+    /// are not flushed).
+    fn mux_clock_cap(&self) -> f64 {
+        (self.now + 1) as f64 / TICKS_PER_SEC as f64
     }
 
     /// [`join`](Self::join) anchored at event tick `t` (≥ the current
@@ -1476,6 +1652,117 @@ mod tests {
         }
         assert_eq!(a.digest(), b.digest());
         assert_eq!(a.session_digests(), b.session_digests());
+    }
+
+    /// A small deterministic churn trace for the fused tests.
+    fn small_trace() -> ChurnTrace {
+        crate::synthetic::churn_trace(&crate::synthetic::ChurnSpec {
+            seed: 0xFACE,
+            initial: 9,
+            weights: vec![2, 1],
+            periods: vec![20, 25],
+            ticks_per_sec: TICKS_PER_SEC,
+            horizon: 2400,
+            churn_ppm_per_sec: 200_000,
+        })
+    }
+
+    /// Splits a trace at tick `cut`: the first half replays events up
+    /// to and including `cut` (horizon `cut`), the second the rest.
+    fn split_trace(trace: &ChurnTrace, cut: u64) -> (ChurnTrace, ChurnTrace) {
+        let half = |keep: &dyn Fn(u64) -> bool, horizon| ChurnTrace {
+            events: trace
+                .events
+                .iter()
+                .filter(|&&(t, _)| keep(t))
+                .copied()
+                .collect(),
+            horizon,
+            peak_live: trace.peak_live,
+        };
+        (half(&|t| t <= cut, cut), half(&|t| t > cut, trace.horizon))
+    }
+
+    fn small_cfg() -> crate::livemux::MuxConfig {
+        crate::livemux::MuxConfig {
+            capacity_bps: 12.0e6,
+            buffer_bits: 0.4e6,
+            t_start: 0.0,
+            t_end: 4.5,
+            descriptor_rho_bps: 1.5e6,
+        }
+    }
+
+    /// The fused trace replay leaves the engine bit-identical to the
+    /// plain replay (same digests, same decision count), and the mux
+    /// outcome is invariant in thread count.
+    #[test]
+    fn fused_trace_matches_plain_replay_and_threads() {
+        let src = fleet();
+        let classes = vec![test_class(20), test_class(25)];
+        let trace = small_trace();
+
+        let mut plain = DynamicEngine::new(classes.clone(), trace.peak_live, 4).unwrap();
+        let made_plain = plain.run_trace(&src, &trace, 1).unwrap();
+        plain.finish(&src, 1);
+
+        let mut baseline = None;
+        for threads in [1usize, 2, 5] {
+            let mut engine = DynamicEngine::new(classes.clone(), trace.peak_live, 4).unwrap();
+            let mut mux = LiveMux::with_joins(trace.total_joins(), 4, small_cfg());
+            let made = engine
+                .run_trace_fused(&src, &trace, threads, &mut mux)
+                .unwrap();
+            let stats = engine.finish_fused(&src, threads, &mut mux);
+            assert_eq!(made, made_plain, "threads={threads}");
+            assert_eq!(engine.digest(), plain.digest(), "threads={threads}");
+            let digest = crate::livemux::mux_digest(&stats, &mux.descriptors());
+            match baseline {
+                None => baseline = Some(digest),
+                Some(d) => assert_eq!(d, digest, "mux digest diverged at threads={threads}"),
+            }
+        }
+    }
+
+    /// Engine + mux checkpoints taken mid-trace continue bit-identical
+    /// to the uninterrupted fused run.
+    #[test]
+    fn fused_trace_checkpoint_restore_is_bit_identical() {
+        let src = fleet();
+        let classes = vec![test_class(20), test_class(25)];
+        let trace = small_trace();
+        let cut = 1300u64;
+        let (first, second) = split_trace(&trace, cut);
+
+        let mut whole = DynamicEngine::new(classes.clone(), trace.peak_live, 4).unwrap();
+        let total = trace.total_joins();
+        let mut whole_mux = LiveMux::with_joins(total, 4, small_cfg());
+        whole
+            .run_trace_fused(&src, &trace, 1, &mut whole_mux)
+            .unwrap();
+        let want = whole.finish_fused(&src, 1, &mut whole_mux);
+        let want_digest = crate::livemux::mux_digest(&want, &whole_mux.descriptors());
+        let want_engine = whole.digest();
+
+        let mut engine = DynamicEngine::new(classes.clone(), trace.peak_live, 4).unwrap();
+        let mut mux = LiveMux::with_joins(total, 4, small_cfg());
+        engine.run_trace_fused(&src, &first, 1, &mut mux).unwrap();
+        // ingest drains the lane-block buffers, making the mux
+        // checkpointable at the same trace position as the engine.
+        mux.ingest(1, engine.mux_clock_cap());
+        let ecp = engine.checkpoint();
+        let mcp = mux.checkpoint();
+
+        let mut engine =
+            DynamicEngine::restore_checkpoint(classes, trace.peak_live, 4, &ecp).unwrap();
+        let mut mux = LiveMux::restore(&mcp);
+        engine.run_trace_fused(&src, &second, 1, &mut mux).unwrap();
+        let got = engine.finish_fused(&src, 1, &mut mux);
+        assert_eq!(engine.digest(), want_engine);
+        assert_eq!(
+            crate::livemux::mux_digest(&got, &mux.descriptors()),
+            want_digest
+        );
     }
 
     #[test]

@@ -64,13 +64,16 @@ use smooth_mpeg::GopPattern;
 use smooth_sweep::{par_map, par_map_pinned};
 
 pub mod dynamic;
+pub mod livemux;
 pub mod mux;
 pub mod scanref;
 pub mod synthetic;
 
+pub use livemux::{mux_digest, LiveMux, LiveMuxStats, MuxCheckpoint, MuxConfig, TrafficDescriptor};
+
 pub use dynamic::{
     fps_class, DynamicClass, DynamicEngine, EngineCheckpoint, SessionSnapshot, ARRIVAL_BATCH,
-    TICKS_PER_SEC,
+    MUX_INGEST_SPAN_TICKS, TICKS_PER_SEC,
 };
 pub use synthetic::{churn_trace, ChurnEvent, ChurnSpec, ChurnTrace, SyntheticFleet};
 
@@ -140,6 +143,16 @@ pub enum EngineError {
         /// The class's slot size.
         ring_cap: usize,
     },
+    /// A mux adapter was handed an engine that already advanced: the
+    /// fused and lazy paths replay the fleet from picture 0, so a
+    /// partially-run engine would silently multiplex a truncated
+    /// schedule.
+    StaleEngine {
+        /// Ticks the engine has already been fed.
+        ticks: u64,
+        /// Whether the engine was already finished.
+        finished: bool,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -178,6 +191,11 @@ impl std::fmt::Display for EngineError {
                 f,
                 "snapshot retains {len} sizes but the class slot holds {ring_cap}"
             ),
+            EngineError::StaleEngine { ticks, finished } => write!(
+                f,
+                "mux adapters need a fresh engine (this one has {ticks} ticks, \
+                 finished: {finished})"
+            ),
         }
     }
 }
@@ -188,6 +206,13 @@ impl std::error::Error for EngineError {}
 /// count — so the shard layout, and with it every output bit, is
 /// independent of how many threads advance a tick.
 pub const SESSIONS_PER_SHARD: usize = 4096;
+
+/// Ticks per fused engine+mux chunk ([`SessionEngine::run_fused`]):
+/// large enough to keep the session-major batch's cache economy, small
+/// enough to bound the transient delta-event buffers between ingests.
+/// Purely a batching knob — every output bit is chunk-size-invariant
+/// (the mux applies events in global time order regardless).
+pub const FUSED_CHUNK: u64 = 8;
 
 /// Produces each session's picture sizes on demand: `size(s, p)` is the
 /// coded size (bits) of session `s`'s picture `p` (display order). A
@@ -432,11 +457,26 @@ impl Shard {
         ticks: u64,
         finish: bool,
     ) -> u64 {
+        self.advance_batch_with(classes, source, ticks, finish, &mut |_, _| {})
+    }
+
+    /// [`advance_batch`](Self::advance_batch) with a decision sink. The
+    /// sink observes the **session-major** interleaving (each session's
+    /// whole batch before the next session), but within a session the
+    /// decisions come in schedule order — all a per-session consumer
+    /// (the fused mux's lanes) needs.
+    fn advance_batch_with<S: SizeSource, F: FnMut(u64, &PictureSchedule)>(
+        &mut self,
+        classes: &[ClassInfo],
+        source: &S,
+        ticks: u64,
+        finish: bool,
+        sink: &mut F,
+    ) -> u64 {
         let mut made = 0u64;
-        let mut sink = |_: u64, _: &PictureSchedule| {};
         for j in 0..self.count() {
             self.prefetch(j + 1);
-            made += self.run_session(j, classes, source, ticks, finish, &mut sink);
+            made += self.run_session(j, classes, source, ticks, finish, sink);
         }
         self.decisions += made;
         made
@@ -751,6 +791,13 @@ impl SessionEngine {
         self.sessions
     }
 
+    /// Sessions per shard — the lane-block width a fused
+    /// [`LiveMux`] must be built with so each engine shard owns
+    /// exactly one block (see [`run_fused`](Self::run_fused)).
+    pub fn shard_size(&self) -> usize {
+        self.shard_size
+    }
+
     /// Number of ticks (pictures per session) fed so far.
     pub fn ticks(&self) -> u64 {
         self.ticks
@@ -865,6 +912,105 @@ impl SessionEngine {
         self.ticks += ticks;
         self.ended = finish;
         made.into_iter().sum()
+    }
+
+    /// Runs the whole fleet through `ticks` live ticks plus the
+    /// end-of-stream drain, **fused with online link aggregation**:
+    /// each chunk of up to [`FUSED_CHUNK`] ticks is batched
+    /// session-major (same cache behaviour as [`run`](Self::run)),
+    /// every decision streams straight into its [`LiveMux`] lane, and
+    /// the mux ingests the accumulated rate-change deltas between
+    /// chunks — no materialized schedules, no breakpoint heap, no
+    /// lockstep pumping. Returns the window's aggregate stats; the
+    /// per-session (σ, ρ) descriptors stay readable on `mux`.
+    ///
+    /// Bit-identical to running the engine and then multiplexing with
+    /// [`mux::mux_sessions`] over [`smooth_netsim::RateSweep`], for any
+    /// thread count (pinned by the `livemux_props` proptests).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::StaleEngine`] when the engine already advanced —
+    /// the fused pass must see every decision from picture 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mux` was not built for this fleet (session count and
+    /// block size must match the engine's layout).
+    pub fn run_fused<S: SizeSource>(
+        &mut self,
+        source: &S,
+        ticks: u64,
+        threads: usize,
+        mux: &mut LiveMux,
+    ) -> Result<LiveMuxStats, EngineError> {
+        if self.ticks != 0 || self.ended {
+            return Err(EngineError::StaleEngine {
+                ticks: self.ticks,
+                finished: self.ended,
+            });
+        }
+        assert_eq!(
+            mux.session_count(),
+            self.sessions,
+            "mux sized for a different fleet"
+        );
+        assert_eq!(
+            mux.block_size(),
+            self.shard_size,
+            "mux block size must match the engine shard size"
+        );
+        let classes = &self.classes;
+        let shards = &self.shards;
+        let idx: Vec<usize> = (0..shards.len()).collect();
+        let mut remaining = ticks;
+        let mut cadence = FUSED_CHUNK;
+        loop {
+            let chunk = remaining.min(cadence);
+            remaining -= chunk;
+            let fin = remaining == 0;
+            let mux_ref = &*mux;
+            // `SMOOTH_MUX_PROF=1` prints per-chunk advance walls and
+            // per-pass ingest phase timings — the knob behind the
+            // hot-path numbers in EXPERIMENTS.md.
+            let t_chunk = livemux::prof_enabled().then(std::time::Instant::now);
+            par_map(threads, &idx, |_, &s| {
+                let mut shard = shards[s].lock().expect("shard poisoned");
+                let mut block = mux_ref.block(s).lock().expect("block poisoned");
+                shard.advance_batch_with(classes, source, chunk, fin, &mut |sid, d| {
+                    block.decision(sid, d)
+                });
+                if fin {
+                    block.finish_lanes();
+                }
+            });
+            if let Some(t0) = t_chunk {
+                eprintln!(
+                    "fused_prof: chunk={chunk} fin={fin} advance={:.3}ms",
+                    t0.elapsed().as_secs_f64() * 1e3
+                );
+            }
+            let flushed = mux.ingest(threads, f64::INFINITY);
+            if fin {
+                break;
+            }
+            // A pass that applied nothing means the fence is pinned by
+            // a lane still on its first merged segment — re-scanning at
+            // the same cadence would be pure overhead, and each extra
+            // pass re-streams every lane's state. Back off aggressively
+            // (x4): a pinned fence tends to stay pinned until that
+            // lane's segment breaks, and every output bit is
+            // cadence-invariant (events apply in global time order
+            // regardless of when they're ingested).
+            if flushed == 0 {
+                cadence = cadence.saturating_mul(4);
+            } else {
+                cadence = FUSED_CHUNK;
+            }
+        }
+        self.ticks = ticks;
+        self.ended = true;
+        Ok(mux.finalize())
     }
 
     /// [`run`](Self::run) with **static shard→thread striping and

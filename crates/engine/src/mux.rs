@@ -30,7 +30,7 @@ use smooth_core::{PictureSchedule, RateSegment, TIME_EPS};
 use smooth_metrics::{RateCursor, StepFunction};
 use smooth_netsim::{sweep::RateSweep, FluidMuxStats};
 
-use crate::{SessionEngine, SizeSource};
+use crate::{EngineError, SessionEngine, SizeSource};
 
 /// Streaming replica of `rate_segments` ∘ `StepFunction::from_segments`
 /// for one session: decisions go in, the step function's breakpoint and
@@ -224,10 +224,16 @@ impl<S: SizeSource> RateCursor for EngineCursor<S> {
 /// [`materialize_schedules`] — to whose
 /// `RateSweep::run` result this is bit-identical.
 ///
+/// # Errors
+///
+/// [`EngineError::StaleEngine`] when the engine has already been
+/// ticked or finished — the cursors must replay every session from
+/// picture 0, so a partially-run engine would silently multiplex a
+/// truncated schedule.
+///
 /// # Panics
 ///
-/// Panics if the engine has already been ticked or finished, or on the
-/// sweep's own parameter checks.
+/// Panics on the sweep's own parameter checks.
 pub fn mux_sessions<S: SizeSource>(
     engine: SessionEngine,
     source: S,
@@ -235,11 +241,13 @@ pub fn mux_sessions<S: SizeSource>(
     sweep: &RateSweep,
     t_start: f64,
     t_end: f64,
-) -> FluidMuxStats {
-    assert!(
-        engine.ticks() == 0 && !engine.is_finished(),
-        "mux_sessions needs a fresh engine"
-    );
+) -> Result<FluidMuxStats, EngineError> {
+    if engine.ticks() != 0 || engine.is_finished() {
+        return Err(EngineError::StaleEngine {
+            ticks: engine.ticks(),
+            finished: engine.is_finished(),
+        });
+    }
     let sessions = engine.session_count();
     let driver = Rc::new(RefCell::new(Driver {
         engine,
@@ -258,7 +266,7 @@ pub fn mux_sessions<S: SizeSource>(
     for cursor in &mut cursors {
         cursor.advance_past(t_start);
     }
-    sweep.run_cursors(&mut cursors, t_start, t_end)
+    Ok(sweep.run_cursors(&mut cursors, t_start, t_end))
 }
 
 /// The materializing reference path: runs the same fleet to completion
@@ -356,13 +364,47 @@ mod tests {
             let want = sweep.run(&inputs, 0.0, t_end);
 
             let (engine, fleet) = fleet_setup(sessions);
-            let got = mux_sessions(engine, fleet, 40, &sweep, 0.0, t_end);
+            let got = mux_sessions(engine, fleet, 40, &sweep, 0.0, t_end).expect("fresh engine");
             assert_eq!(want.arrived_bits.to_bits(), got.arrived_bits.to_bits());
             assert_eq!(want.lost_bits.to_bits(), got.lost_bits.to_bits());
             assert_eq!(want.served_bits.to_bits(), got.served_bits.to_bits());
             assert_eq!(want.max_queue_bits.to_bits(), got.max_queue_bits.to_bits());
             assert_eq!(want.utilization.to_bits(), got.utilization.to_bits());
         }
+    }
+
+    /// Satellite regression: a ticked or finished engine is rejected
+    /// with the typed [`EngineError::StaleEngine`] — the PR 7
+    /// validation style — instead of the old assert panic.
+    #[test]
+    fn stale_engine_yields_typed_error_not_panic() {
+        let sweep = RateSweep {
+            capacity_bps: 1.0e6,
+            buffer_bits: 0.0,
+        };
+        let (mut engine, fleet) = fleet_setup(3);
+        engine.tick(&fleet, 1);
+        engine.tick(&fleet, 1);
+        let err = mux_sessions(engine, fleet, 5, &sweep, 0.0, 1.0).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::StaleEngine {
+                ticks: 2,
+                finished: false
+            }
+        );
+        assert!(err.to_string().contains("fresh engine"), "{err}");
+
+        let (mut engine, fleet) = fleet_setup(3);
+        engine.finish(&fleet, 1);
+        let err = mux_sessions(engine, fleet, 5, &sweep, 0.0, 1.0).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::StaleEngine {
+                ticks: 0,
+                finished: true
+            }
+        );
     }
 
     #[test]
@@ -376,7 +418,7 @@ mod tests {
         for (a, b) in [(0.3, 0.9), (0.5, 0.5), (-1.0, 2.0)] {
             let want = sweep.run(&inputs, a, b);
             let (engine, fleet) = fleet_setup(6);
-            let got = mux_sessions(engine, fleet, 30, &sweep, a, b);
+            let got = mux_sessions(engine, fleet, 30, &sweep, a, b).expect("fresh engine");
             assert_eq!(
                 want.served_bits.to_bits(),
                 got.served_bits.to_bits(),

@@ -90,6 +90,19 @@ pub struct ChurnTrace {
     pub peak_live: usize,
 }
 
+impl ChurnTrace {
+    /// Total sessions the trace ever joins — session ids are issued
+    /// densely in join order, so this is the lane capacity a
+    /// [`crate::LiveMux::with_joins`] aggregator needs to cover every
+    /// id the fused replay will touch.
+    pub fn total_joins(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|(_, e)| matches!(e, ChurnEvent::Join { .. }))
+            .count()
+    }
+}
+
 /// Parameters of a [`churn_trace`]: a fleet ramped in over the first
 /// second, then symmetric join/leave churn at a fixed rate until the
 /// horizon.

@@ -187,7 +187,8 @@ proptest! {
             buffer_bits: 1.0e5,
         };
         let want = sweep.run(&inputs, 0.0, t_end);
-        let got = mux_sessions(build(&spec, 3), source, spec.ticks, &sweep, 0.0, t_end);
+        let got = mux_sessions(build(&spec, 3), source, spec.ticks, &sweep, 0.0, t_end)
+            .expect("fresh engine");
         prop_assert_eq!(want.arrived_bits.to_bits(), got.arrived_bits.to_bits());
         prop_assert_eq!(want.lost_bits.to_bits(), got.lost_bits.to_bits());
         prop_assert_eq!(want.served_bits.to_bits(), got.served_bits.to_bits());

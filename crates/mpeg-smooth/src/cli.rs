@@ -124,9 +124,11 @@ usage:
   mpeg-smooth verify   --trace <trace.csv> --d <seconds> [--k K] [--h H]
   mpeg-smooth sessions [--sessions N] [--pictures N] [--threads N] [--seed S]
                        [--classes <fps:weight,...>]
+                       [--mux-capacity-mbps C [--mux-buffer-kbit B]]
   mpeg-smooth churn    [--sessions N] [--seconds S] [--churn-ppm P] [--threads N]
                        [--seed S] [--classes <fps:weight,...>] [--shard-size N]
                        [--batch B] [--repeats R] [--out <BENCH_sweep.json>]
+                       [--mux-capacity-mbps C [--mux-buffer-kbit B]]
   mpeg-smooth scale    [--sessions N] [--pictures N] [--repeats R]
                        [--max-threads T] [--out <BENCH_sweep.json>]
   mpeg-smooth help
@@ -619,6 +621,61 @@ fn split_by_weight(total: usize, weights: &[u32]) -> Vec<usize> {
     counts
 }
 
+/// Parses the fused-mux link flags shared by `sessions` and `churn`:
+/// `--mux-capacity-mbps` switches the fused fleet-to-link path on, and
+/// `--mux-buffer-kbit` (default 500) sizes the link buffer. Returns
+/// `(capacity_bps, buffer_bits)` when the fused path is requested.
+fn take_mux_link(opts: &mut Options) -> Result<Option<(f64, f64)>, CliError> {
+    let capacity = opts.take_parsed::<f64>("mux-capacity-mbps")?;
+    let buffer = opts.take_parsed::<f64>("mux-buffer-kbit")?;
+    let Some(c) = capacity else {
+        if buffer.is_some() {
+            return Err(err("--mux-buffer-kbit: requires --mux-capacity-mbps"));
+        }
+        return Ok(None);
+    };
+    if c.is_nan() || c <= 0.0 {
+        return Err(err("--mux-capacity-mbps: must be positive"));
+    }
+    let b = buffer.unwrap_or(500.0);
+    if b.is_nan() || b < 0.0 {
+        return Err(err("--mux-buffer-kbit: must be non-negative"));
+    }
+    Ok(Some((c * 1.0e6, b * 1.0e3)))
+}
+
+/// Prints the fused run's outcome: link stats, peak, and the
+/// machine-parsable `mux_digest=` witness (next to `fleet_digest=`).
+fn report_mux(
+    out: &mut dyn Write,
+    stats: &smooth_engine::LiveMuxStats,
+    mux: &smooth_engine::LiveMux,
+) {
+    let c = mux.config();
+    let _ = writeln!(
+        out,
+        "mux: {:.1} Mbit/s link, {:.0} kbit buffer, window [{:.3}, {:.3}]s, rho {:.0} bit/s",
+        c.capacity_bps / 1e6,
+        c.buffer_bits / 1e3,
+        c.t_start,
+        c.t_end,
+        c.descriptor_rho_bps
+    );
+    let _ = writeln!(
+        out,
+        "mux: utilization {:.4}, lost {:.0} bits, peak {:.3} Mbit/s, max queue {:.0} bits",
+        stats.mux.utilization,
+        stats.mux.lost_bits,
+        stats.peak_rate_bps / 1e6,
+        stats.mux.max_queue_bits
+    );
+    let _ = writeln!(
+        out,
+        "mux_digest={:016x}",
+        smooth_engine::mux_digest(stats, &mux.descriptors())
+    );
+}
+
 /// `sessions`: advance a fleet of concurrent live smoothing sessions
 /// (synthetic picture sizes, the paper-recommended class — or a
 /// `--classes` fps mix) through the session engine and report aggregate
@@ -634,6 +691,7 @@ fn cmd_sessions(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
     let threads = smooth_sweep::resolve_threads(opts.take_parsed::<usize>("threads")?);
     let seed = opts.take_parsed::<u64>("seed")?.unwrap_or(0x5e55be7c);
     let classes_raw = opts.take("classes");
+    let mux_link = take_mux_link(&mut opts)?;
     opts.finish()?;
     if sessions == 0 {
         return Err(err("--sessions: must be at least 1"));
@@ -645,6 +703,9 @@ fn cmd_sessions(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
     let pattern = smooth_mpeg::GopPattern::new(3, 9).expect("(3,9) is valid");
     let fleet = SyntheticFleet { seed, pattern };
     let mut engine;
+    // Widest picture period in the mix, for the fused measurement
+    // window (lockstep ticks land every class's τ on it).
+    let mut max_period_ticks = 20u64;
     match classes_raw.as_deref() {
         None => {
             // The paper-recommended single class at 30 fps.
@@ -670,6 +731,7 @@ fn cmd_sessions(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
             // smoother's delay budget.
             let (mix, weights) = parse_classes(raw)?;
             let counts = split_by_weight(sessions, &weights);
+            max_period_ticks = mix.iter().map(|c| c.period_ticks).max().expect("non-empty");
             engine = SessionEngine::new(mix.iter().map(|c| c.class.clone()).collect());
             for (i, &n) in counts.iter().enumerate() {
                 engine.add_sessions(i, n);
@@ -687,8 +749,30 @@ fn cmd_sessions(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
         }
     }
 
+    let mut fused = None;
     let t0 = std::time::Instant::now();
-    engine.run(&fleet, pictures, true, threads);
+    match mux_link {
+        None => {
+            engine.run(&fleet, pictures, true, threads);
+        }
+        Some((capacity_bps, buffer_bits)) => {
+            // Fused fleet-to-link: decisions stream straight into the
+            // online aggregator — no materialized schedules, no
+            // second pass. ρ defaults to the per-session fair share.
+            let cfg = smooth_engine::MuxConfig {
+                capacity_bps,
+                buffer_bits,
+                t_start: 0.0,
+                t_end: pictures as f64 * max_period_ticks as f64 / TICKS_PER_SEC_FPS as f64,
+                descriptor_rho_bps: capacity_bps / sessions as f64,
+            };
+            let mut mux = smooth_engine::LiveMux::new(sessions, engine.shard_size(), cfg);
+            let stats = engine
+                .run_fused(&fleet, pictures, threads, &mut mux)
+                .map_err(|e| err(e.to_string()))?;
+            fused = Some((stats, mux));
+        }
+    }
     let wall = t0.elapsed().as_secs_f64();
     let decisions = engine.decisions();
     let rate = if wall > 0.0 {
@@ -704,6 +788,9 @@ fn cmd_sessions(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
         engine.max_retained()
     );
     let _ = writeln!(out, "fleet_digest={:016x}", engine.digest());
+    if let Some((stats, mux)) = &fused {
+        report_mux(out, stats, mux);
+    }
     // Only this line may vary between runs; the determinism tests strip
     // lines containing "thread(s)".
     let _ = writeln!(
@@ -746,6 +833,7 @@ fn cmd_churn(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
     let classes_raw = opts
         .take("classes")
         .unwrap_or_else(|| "24:1,25:1,30:1,60:1".to_string());
+    let mux_link = take_mux_link(&mut opts)?;
     opts.finish()?;
     if sessions == 0 {
         return Err(err("--sessions: must be at least 1"));
@@ -798,14 +886,39 @@ fn cmd_churn(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
     // is timed. The last engine reports the (repeat-invariant) stats.
     let mut walls = Vec::with_capacity(repeats);
     let mut engine = None;
+    let mut fused = None;
     for _ in 0..repeats {
         let mut e = DynamicEngine::new(classes.clone(), trace.peak_live, shard_size)
             .map_err(|e| err(e.to_string()))?;
         e.set_arrival_batch(batch);
-        let t0 = std::time::Instant::now();
-        e.run_trace(&src, &trace, threads)
-            .map_err(|e| err(e.to_string()))?;
-        walls.push(t0.elapsed().as_secs_f64());
+        match mux_link {
+            None => {
+                let t0 = std::time::Instant::now();
+                e.run_trace(&src, &trace, threads)
+                    .map_err(|e| err(e.to_string()))?;
+                walls.push(t0.elapsed().as_secs_f64());
+            }
+            Some((capacity_bps, buffer_bits)) => {
+                // Fused churn-to-link: the wheel drain and the online
+                // aggregation advance together; the window covers the
+                // trace and ρ is the initial fleet's fair share.
+                let cfg = smooth_engine::MuxConfig {
+                    capacity_bps,
+                    buffer_bits,
+                    t_start: 0.0,
+                    t_end: seconds as f64,
+                    descriptor_rho_bps: capacity_bps / sessions as f64,
+                };
+                let mut mux =
+                    smooth_engine::LiveMux::with_joins(trace.total_joins(), shard_size, cfg);
+                let t0 = std::time::Instant::now();
+                e.run_trace_fused(&src, &trace, threads, &mut mux)
+                    .map_err(|e| err(e.to_string()))?;
+                let stats = e.finish_fused(&src, threads, &mut mux);
+                walls.push(t0.elapsed().as_secs_f64());
+                fused = Some((stats, mux));
+            }
+        }
         engine = Some(e);
     }
     let engine = engine.expect("repeats >= 1");
@@ -831,6 +944,9 @@ fn cmd_churn(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
         engine.digest()
     );
     let _ = writeln!(out, "fleet_digest={:016x}", engine.digest());
+    if let Some((stats, mux)) = &fused {
+        report_mux(out, stats, mux);
+    }
     // Only this line may vary between runs; the determinism tests strip
     // lines containing "thread(s)".
     let _ = writeln!(
@@ -845,8 +961,16 @@ fn cmd_churn(args: &[String], out: &mut dyn Write) -> Result<i32, CliError> {
         } else {
             SweepBenchReport::with_thread_source(threads, ThreadSource::Flag)
         };
+        // Fused runs time extra work (the online aggregation), so they
+        // get their own record name rather than dedup-clobbering the
+        // plain replay's measurement.
+        let record_name = if fused.is_some() {
+            format!("churn_fused_S{sessions}")
+        } else {
+            format!("churn_synthetic_S{sessions}")
+        };
         report.record_churn_throughput(ChurnThroughputRecord::with_walls(
-            &format!("churn_synthetic_S{sessions}"),
+            &record_name,
             sessions,
             churn_ppm,
             engine.joined(),
@@ -1609,6 +1733,138 @@ mod tests {
         let report = smooth_sweep::bench::SweepBenchReport::load(std::path::Path::new(&json_path))
             .expect("churn report");
         assert_eq!(report.churn_throughput.len(), 1);
+    }
+
+    #[test]
+    fn fused_sessions_prints_mux_digest_and_is_thread_invariant() {
+        let base = [
+            "sessions",
+            "--sessions",
+            "150",
+            "--pictures",
+            "12",
+            "--mux-capacity-mbps",
+            "200",
+            "--mux-buffer-kbit",
+            "700",
+        ];
+        let run_with = |threads: &str| {
+            let mut args: Vec<&str> = base.to_vec();
+            args.extend(["--threads", threads]);
+            run_cli(&args)
+        };
+        let (code, serial) = run_with("1");
+        assert_eq!(code, 0, "{serial}");
+        assert!(serial.contains("fleet_digest="), "{serial}");
+        let digest_line = serial
+            .lines()
+            .find(|l| l.starts_with("mux_digest="))
+            .expect("mux_digest line");
+        let hex = digest_line.strip_prefix("mux_digest=").unwrap();
+        assert_eq!(hex.len(), 16, "{digest_line}");
+        assert!(hex.chars().all(|c| c.is_ascii_hexdigit()), "{digest_line}");
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.contains("thread(s)"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        for threads in ["2", "5"] {
+            let (code, parallel) = run_with(threads);
+            assert_eq!(code, 0);
+            assert_eq!(strip(&serial), strip(&parallel), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fused_churn_prints_mux_digest_and_is_thread_invariant() {
+        let base = [
+            "churn",
+            "--sessions",
+            "150",
+            "--seconds",
+            "2",
+            "--churn-ppm",
+            "200000",
+            "--shard-size",
+            "32",
+            "--mux-capacity-mbps",
+            "180",
+        ];
+        let run_with = |threads: &str| {
+            let mut args: Vec<&str> = base.to_vec();
+            args.extend(["--threads", threads]);
+            run_cli(&args)
+        };
+        let (code, serial) = run_with("1");
+        assert_eq!(code, 0, "{serial}");
+        assert!(serial.contains("mux_digest="), "{serial}");
+        assert!(serial.contains("fleet_digest="), "{serial}");
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.contains("thread(s)"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        for threads in ["2", "8"] {
+            let (code, parallel) = run_with(threads);
+            assert_eq!(code, 0);
+            assert_eq!(strip(&serial), strip(&parallel), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fused_churn_out_gets_its_own_record_name() {
+        let json_path = tmp("churn_fused_report.json");
+        let _ = std::fs::remove_file(&json_path);
+        let (code, text) = run_cli(&[
+            "churn",
+            "--sessions",
+            "120",
+            "--seconds",
+            "1",
+            "--threads",
+            "1",
+            "--mux-capacity-mbps",
+            "150",
+            "--out",
+            &json_path,
+        ]);
+        assert_eq!(code, 0, "{text}");
+        let report = smooth_sweep::bench::SweepBenchReport::load(std::path::Path::new(&json_path))
+            .expect("fused churn report");
+        assert_eq!(report.churn_throughput.len(), 1);
+        assert_eq!(report.churn_throughput[0].name, "churn_fused_S120");
+    }
+
+    #[test]
+    fn mux_link_flags_are_validated() {
+        let fail = |args: &[&str], needle: &str| {
+            let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            let mut out = Vec::new();
+            let e = run(&args, &mut out).unwrap_err();
+            assert!(e.0.contains(needle), "{e}");
+        };
+        fail(
+            &["sessions", "--sessions", "10", "--mux-buffer-kbit", "500"],
+            "requires --mux-capacity-mbps",
+        );
+        fail(
+            &["sessions", "--sessions", "10", "--mux-capacity-mbps", "0"],
+            "must be positive",
+        );
+        fail(
+            &[
+                "churn",
+                "--sessions",
+                "10",
+                "--mux-capacity-mbps",
+                "100",
+                "--mux-buffer-kbit",
+                "-3",
+            ],
+            "must be non-negative",
+        );
     }
 
     #[test]

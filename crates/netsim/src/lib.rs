@@ -46,7 +46,7 @@ pub use experiment::{
 pub use mux::{CellMux, CellMuxStats, FluidMux, FluidMuxStats};
 pub use packetizer::{cell_times, merge_cell_streams, CELL_PAYLOAD_BITS, CELL_WIRE_BITS};
 pub use policer::{min_bucket_for, PoliceStats, TokenBucket};
-pub use sweep::{sweep_cursors, RateSweep, MUX_MAX_SHARDS};
+pub use sweep::{sweep_cursors, QueueState, RateSweep, MUX_MAX_SHARDS};
 pub use transport::{
     lossy_session, packetize, reassemble, units_damaged, LossySessionReport, Packet,
 };

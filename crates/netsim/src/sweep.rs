@@ -283,11 +283,12 @@ pub fn sweep_cursors<C: RateCursor>(
 }
 
 /// The exact fluid finite-buffer FIFO queue stepper, shared verbatim by
-/// [`RateSweep`] and [`crate::mux::reference`] so the two paths cannot
-/// drift: given the same `(agg, dt)` interval sequence they execute the
-/// same IEEE operations.
+/// [`RateSweep`], [`crate::mux::reference`], and the fused
+/// `smooth-engine` link aggregator so the paths cannot drift: given the
+/// same `(agg, dt)` interval sequence they execute the same IEEE
+/// operations, which is what makes their stats bit-comparable.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub(crate) struct QueueState {
+pub struct QueueState {
     q: f64,
     arrived: f64,
     lost: f64,
@@ -295,8 +296,15 @@ pub(crate) struct QueueState {
     max_q: f64,
 }
 
+impl Default for QueueState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl QueueState {
-    pub(crate) fn new() -> Self {
+    /// An empty queue with zeroed counters.
+    pub fn new() -> Self {
         QueueState {
             q: 0.0,
             arrived: 0.0,
@@ -309,7 +317,7 @@ impl QueueState {
     /// Integrates one interval of aggregate input rate `agg` over `dt`
     /// seconds, splitting at the buffer-full / buffer-empty crossing when
     /// one occurs mid-interval.
-    pub(crate) fn advance(&mut self, agg: f64, mut dt: f64, capacity_bps: f64, buffer_bits: f64) {
+    pub fn advance(&mut self, agg: f64, mut dt: f64, capacity_bps: f64, buffer_bits: f64) {
         if dt <= 0.0 {
             return;
         }
@@ -355,7 +363,7 @@ impl QueueState {
 
     /// Finalizes the run. Utilization is defined as 0 over a zero-length
     /// (or inverted) window instead of NaN.
-    pub(crate) fn into_stats(self, capacity_bps: f64, t_start: f64, t_end: f64) -> FluidMuxStats {
+    pub fn into_stats(self, capacity_bps: f64, t_start: f64, t_end: f64) -> FluidMuxStats {
         let denom = capacity_bps * (t_end - t_start);
         FluidMuxStats {
             arrived_bits: self.arrived,

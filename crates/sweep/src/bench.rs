@@ -365,6 +365,104 @@ impl ChurnThroughputRecord {
     }
 }
 
+/// One fused fleet-to-link measurement: the session engine streaming
+/// its decisions straight into the online link aggregator (`LiveMux`),
+/// against the offline baseline that runs the engine, materializes every
+/// schedule, and sweeps them through the multiplexer afterwards. Lives
+/// in the `fleet_mux_throughput[]` array of `BENCH_sweep.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetMuxThroughputRecord {
+    /// Configuration label, e.g. `fleet_mux_synthetic_S1000000`.
+    pub name: String,
+    /// Concurrent sessions in the fleet.
+    pub sessions: usize,
+    /// Lockstep ticks (pictures fed per session).
+    pub ticks: u64,
+    /// Total picture decisions made across the fleet.
+    pub decisions: u64,
+    /// Fused-path wall seconds (min over repeats): engine run plus
+    /// online aggregation, end to end.
+    pub wall_seconds: f64,
+    /// Median wall seconds over the repeats.
+    #[serde(default)]
+    pub wall_seconds_median: Option<f64>,
+    /// Max − min wall seconds over the repeats.
+    #[serde(default)]
+    pub wall_seconds_spread: Option<f64>,
+    /// `decisions / wall_seconds`.
+    pub decisions_per_second: f64,
+    /// Offline-baseline wall seconds (min over repeats): run the engine
+    /// for the fleet product, then `mux_sessions` (which must replay a
+    /// fresh engine through its cursor layer) for the link aggregate —
+    /// the pre-fusion end-to-end cost of obtaining both.
+    #[serde(default)]
+    pub offline_seconds: Option<f64>,
+    /// `offline_seconds / wall_seconds` — end-to-end speedup.
+    #[serde(default)]
+    pub speedup: Option<f64>,
+    /// Bare engine run wall seconds (min over repeats), no aggregation:
+    /// the decision work both paths share — the Amdahl floor of the
+    /// end-to-end speedup on a given thread count.
+    #[serde(default)]
+    pub engine_seconds: Option<f64>,
+    /// Speedup of the aggregation pass alone:
+    /// `(offline − engine) / (wall − engine)` — the second pass the
+    /// fused path replaces versus the fused overhead over the bare
+    /// engine run.
+    #[serde(default)]
+    pub mux_pass_speedup: Option<f64>,
+    /// Worker threads the measurement used (1 = serial).
+    pub threads: usize,
+    /// Commit the record was measured at — stamped by
+    /// [`SweepBenchReport::record_fleet_mux_throughput`], part of the
+    /// dedup key.
+    #[serde(default)]
+    pub git_commit: Option<String>,
+}
+
+impl FleetMuxThroughputRecord {
+    /// Builds a record from the full fused repeat sample, headlining the
+    /// min and deriving the end-to-end and aggregation-pass speedups
+    /// over the offline baseline.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_walls(
+        name: &str,
+        sessions: usize,
+        ticks: u64,
+        decisions: u64,
+        walls: &[f64],
+        offline_seconds: Option<f64>,
+        engine_seconds: Option<f64>,
+        threads: usize,
+    ) -> Self {
+        let (min, median, spread) = wall_stats(walls);
+        let mux_pass_speedup = match (offline_seconds, engine_seconds) {
+            (Some(o), Some(e)) if min > e && o > e => Some((o - e) / (min - e)),
+            _ => None,
+        };
+        FleetMuxThroughputRecord {
+            name: name.to_string(),
+            sessions,
+            ticks,
+            decisions,
+            wall_seconds: min,
+            wall_seconds_median: Some(median),
+            wall_seconds_spread: Some(spread),
+            decisions_per_second: if min > 0.0 {
+                decisions as f64 / min
+            } else {
+                0.0
+            },
+            offline_seconds,
+            speedup: offline_seconds.map(|o| if min > 0.0 { o / min } else { 0.0 }),
+            engine_seconds,
+            mux_pass_speedup,
+            threads,
+            git_commit: None,
+        }
+    }
+}
+
 /// One point of the cores-vs-throughput scaling curve: the 1M-session
 /// engine run at a fixed worker count with cache-aware placement
 /// (static shard→thread striping, per-worker first-touch construction,
@@ -489,6 +587,11 @@ pub struct SweepBenchReport {
     /// fields.
     #[serde(default)]
     pub churn_throughput: Vec<ChurnThroughputRecord>,
+    /// Fused fleet-to-link throughput measurements (see
+    /// [`FleetMuxThroughputRecord`]); shares the report-level provenance
+    /// fields.
+    #[serde(default)]
+    pub fleet_mux_throughput: Vec<FleetMuxThroughputRecord>,
     /// Cores-vs-throughput scaling curve (see [`ScalingRecord`]); one
     /// point per measured worker count.
     #[serde(default)]
@@ -517,6 +620,7 @@ impl SweepBenchReport {
             mux_throughput: Vec::new(),
             session_throughput: Vec::new(),
             churn_throughput: Vec::new(),
+            fleet_mux_throughput: Vec::new(),
             scaling: Vec::new(),
             total_seconds: 0.0,
         }
@@ -575,6 +679,17 @@ impl SweepBenchReport {
                 != (&record.name, &record.git_commit, record.threads)
         });
         self.churn_throughput.push(record);
+    }
+
+    /// Appends a fused fleet-to-link throughput measurement,
+    /// deduplicating by `(name, git_commit, threads)`.
+    pub fn record_fleet_mux_throughput(&mut self, mut record: FleetMuxThroughputRecord) {
+        record.git_commit = self.record_commit();
+        self.fleet_mux_throughput.retain(|r| {
+            (&r.name, &r.git_commit, r.threads)
+                != (&record.name, &record.git_commit, record.threads)
+        });
+        self.fleet_mux_throughput.push(record);
     }
 
     /// Appends a scaling-curve point, deduplicating by
@@ -719,6 +834,7 @@ mod tests {
         assert!(report.throughput.is_empty());
         assert!(report.mux_throughput.is_empty());
         assert!(report.session_throughput.is_empty());
+        assert!(report.fleet_mux_throughput.is_empty());
         assert!(report.scaling.is_empty());
         assert_eq!(report.physical_cores, 0);
         assert_eq!(report.logical_cores, 0);
@@ -802,6 +918,53 @@ mod tests {
         report.record_mux_throughput(MuxThroughputRecord::new("m", 2, 10, 1.0, None, 1));
         report.record_mux_throughput(MuxThroughputRecord::new("m", 2, 10, 2.0, None, 1));
         assert_eq!(report.mux_throughput.len(), 1);
+        report.record_fleet_mux_throughput(FleetMuxThroughputRecord::with_walls(
+            "fm",
+            10,
+            4,
+            40,
+            &[1.0],
+            None,
+            None,
+            1,
+        ));
+        report.record_fleet_mux_throughput(FleetMuxThroughputRecord::with_walls(
+            "fm",
+            10,
+            4,
+            40,
+            &[2.0],
+            None,
+            None,
+            1,
+        ));
+        assert_eq!(report.fleet_mux_throughput.len(), 1);
+        assert_eq!(report.fleet_mux_throughput[0].wall_seconds, 2.0);
+    }
+
+    #[test]
+    fn fleet_mux_record_derives_rate_and_speedups() {
+        let r = FleetMuxThroughputRecord::with_walls(
+            "fleet_mux_synthetic_S1000000",
+            1_000_000,
+            32,
+            32_000_000,
+            &[4.0, 5.0, 6.0],
+            Some(48.0),
+            Some(3.0),
+            1,
+        );
+        assert_eq!(r.wall_seconds, 4.0);
+        assert_eq!(r.wall_seconds_median, Some(5.0));
+        assert_eq!(r.wall_seconds_spread, Some(2.0));
+        assert!((r.decisions_per_second - 8_000_000.0).abs() < 1e-3);
+        assert!((r.speedup.unwrap() - 12.0).abs() < 1e-9);
+        // Aggregation pass: (48 − 3) / (4 − 3) = 45×.
+        assert!((r.mux_pass_speedup.unwrap() - 45.0).abs() < 1e-9);
+        let no_base = FleetMuxThroughputRecord::with_walls("fm", 10, 4, 40, &[1.0], None, None, 1);
+        assert_eq!(no_base.offline_seconds, None);
+        assert_eq!(no_base.speedup, None);
+        assert_eq!(no_base.mux_pass_speedup, None);
     }
 
     #[test]

@@ -77,11 +77,19 @@ impl SumTree {
     pub fn set(&mut self, i: usize, v: f64) {
         assert!(i < self.n, "leaf {i} out of range (n = {})", self.n);
         debug_assert!(v.is_finite(), "leaf values must be finite");
-        let mut k = self.width + i;
-        self.nodes[k] = v;
+        // Narrow the slice so the length is symbolically `2 * width`:
+        // with `k < 2 * width` established once at the leaf, the
+        // optimizer can prove every index below in range (`k / 2 <
+        // width` implies `2 * (k / 2) + 1 < 2 * width`) and drop the
+        // per-level bounds checks — this is the hottest loop of the
+        // incremental aggregation path.
+        let width = self.width;
+        let nodes = &mut self.nodes[..2 * width];
+        let mut k = width + i;
+        nodes[k] = v;
         while k > 1 {
             k /= 2;
-            self.nodes[k] = self.nodes[2 * k] + self.nodes[2 * k + 1];
+            nodes[k] = nodes[2 * k] + nodes[2 * k + 1];
         }
     }
 
